@@ -1,0 +1,31 @@
+# Convenience targets for the DynaMast reproduction.
+
+.PHONY: install test bench examples quick clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+test-output:
+	python -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only -s
+
+bench-output:
+	python -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+examples:
+	python examples/quickstart.py
+	python examples/protocol_walkthrough.py
+	python examples/recovery_demo.py
+	python examples/adaptivity_demo.py
+
+quick:
+	python -m repro compare --clients 16 --duration 500
+
+clean:
+	rm -rf .pytest_cache build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

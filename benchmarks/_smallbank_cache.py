@@ -1,0 +1,15 @@
+"""Memoized SmallBank suite shared by the figure-8a-8d benches."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import smallbank_suite
+
+_suite = None
+
+
+def get_suite():
+    """The (cached) SmallBank results for all five systems."""
+    global _suite
+    if _suite is None:
+        _suite = smallbank_suite()
+    return _suite

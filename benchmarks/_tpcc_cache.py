@@ -1,0 +1,20 @@
+"""Memoized default-mix TPC-C suite shared by the TPC-C figure benches.
+
+Figures 4c, 4d, 8e and 8f all read off the same default-mix TPC-C run;
+running it once per benchmark session keeps the suite's total runtime
+tractable.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import tpcc_default_suite
+
+_suite = None
+
+
+def get_default_suite():
+    """The (cached) default-mix TPC-C results for all five systems."""
+    global _suite
+    if _suite is None:
+        _suite = tpcc_default_suite()
+    return _suite

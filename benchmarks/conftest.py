@@ -1,0 +1,30 @@
+"""Shared helpers for the per-figure benchmark files.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation: it runs the experiment driver once (``benchmark.pedantic``
+with a single round — these are simulation experiments, not
+microbenchmarks), prints a paper-vs-measured table, and asserts the
+figure's *shape* criteria (orderings and rough factors; absolute
+numbers are not expected to match a simulated substrate).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

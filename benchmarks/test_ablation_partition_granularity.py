@@ -1,0 +1,57 @@
+"""Ablation: remastering granularity (DESIGN.md design choice).
+
+DynaMast remasters partition *groups* (paper §V-B). This ablation
+varies how finely TPC-C stock is chunked: coarse chunks mean a single
+cross-warehouse New-Order drags a large slice of the home warehouse's
+stock to a remote site, so far more subsequent home transactions must
+remaster it back. Fine chunks keep the collateral damage small.
+
+Not a paper figure — an ablation of a design choice the reproduction
+had to make (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from repro.bench.harness import run_benchmark
+from repro.bench.report import print_table
+from repro.sim.config import ClusterConfig
+from repro.workloads import TPCCConfig, TPCCWorkload
+
+
+def run_granularity(stock_chunk):
+    workload = TPCCWorkload(TPCCConfig(stock_chunk=stock_chunk))
+    return run_benchmark(
+        "dynamast",
+        workload,
+        num_clients=80,
+        duration_ms=1000.0,
+        warmup_ms=300.0,
+        cluster_config=ClusterConfig(num_sites=4, cores_per_site=6),
+    )
+
+
+def test_ablation_partition_granularity(once):
+    def sweep():
+        return {chunk: run_granularity(chunk) for chunk in (50, 500, 2500)}
+
+    results = once(sweep)
+    rows = []
+    for chunk, result in sorted(results.items()):
+        no = result.latency("new_order")
+        rows.append([
+            f"{chunk} items/chunk",
+            result.throughput,
+            result.metrics.remaster_fraction(),
+            no.mean,
+            no.p99,
+        ])
+    print_table(
+        "Ablation: TPC-C stock partition granularity (DynaMast)",
+        ["granularity", "txn/s", "remaster fraction", "NO mean ms", "NO p99 ms"],
+        rows,
+    )
+
+    fine = results[50]
+    coarse = results[2500]
+    # Coarser chunks force more remastering-back of stolen stock.
+    assert coarse.metrics.remaster_fraction() >= fine.metrics.remaster_fraction()
+    # And fine granularity must not lose throughput.
+    assert fine.throughput >= 0.9 * coarse.throughput

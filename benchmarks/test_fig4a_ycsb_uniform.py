@@ -1,0 +1,71 @@
+"""Figure 4a: YCSB uniform 50/50 RMW/scan — throughput vs clients.
+
+Paper's shape: DynaMast wins at every client count, improving
+throughput by ~2.3x over partition-store and ~1.3x over single-master;
+LEAP improves on partition-store by ~20% but reaches only half of
+DynaMast; multi-master sits between partition-store and single-master;
+single-master saturates as clients grow.
+"""
+
+from repro.bench.experiments import fig4a_ycsb_uniform
+from repro.bench.report import print_table, ratio
+
+
+def test_fig4a_ycsb_uniform(once):
+    results = fig4a_ycsb_uniform(client_counts=(12, 24, 48))
+    systems = list(results)
+    client_counts = sorted(next(iter(results.values())))
+
+    rows = []
+    for system in systems:
+        row = [system] + [
+            results[system][clients].throughput for clients in client_counts
+        ]
+        rows.append(row)
+    print_table(
+        "Figure 4a: YCSB uniform 50/50 throughput (txn/s) vs clients",
+        ["system"] + [f"{c} clients" for c in client_counts],
+        rows,
+    )
+
+    peak = {
+        system: max(r.throughput for r in results[system].values())
+        for system in systems
+    }
+    print_table(
+        "Figure 4a: peak throughput vs paper expectation",
+        ["system", "measured txn/s", "dynamast/x", "paper dynamast/x"],
+        [
+            ["dynamast", peak["dynamast"], 1.0, 1.0],
+            ["single-master", peak["single-master"],
+             ratio(peak["dynamast"], peak["single-master"]), 1.3],
+            ["multi-master", peak["multi-master"],
+             ratio(peak["dynamast"], peak["multi-master"]), "1.3-2.3"],
+            ["leap", peak["leap"], ratio(peak["dynamast"], peak["leap"]), 2.0],
+            ["partition-store", peak["partition-store"],
+             ratio(peak["dynamast"], peak["partition-store"]), 2.3],
+        ],
+    )
+
+    # Shape criteria.
+    assert peak["dynamast"] == max(peak.values()), "DynaMast must win Fig 4a"
+    assert peak["dynamast"] >= 2.0 * peak["partition-store"], (
+        "paper: ~2.3x over partition-store"
+    )
+    assert peak["dynamast"] >= 1.5 * peak["leap"], "paper: ~2x over LEAP"
+    assert 1.1 <= ratio(peak["dynamast"], peak["single-master"]) <= 2.6, (
+        "paper: ~1.3x over single-master"
+    )
+    assert peak["leap"] >= 1.05 * peak["partition-store"], (
+        "paper: LEAP ~20% over partition-store"
+    )
+    # Single-master's master site saturates: its scaling from the
+    # smallest to the largest client count is the worst among systems.
+    sm_scaling = ratio(
+        results["single-master"][48].throughput,
+        results["single-master"][12].throughput,
+    )
+    dm_scaling = ratio(
+        results["dynamast"][48].throughput, results["dynamast"][12].throughput
+    )
+    assert dm_scaling > sm_scaling, "single-master must saturate first"

@@ -1,0 +1,51 @@
+"""Figure 4d: TPC-C Stock-Level (read-only) latency across systems.
+
+Paper's shape: DynaMast, single-master and multi-master all serve
+Stock-Level from local replicas with similar low latency; partition-
+store must scatter-gather across warehouses when recent order lines
+reference remote stock (the straggler effect) and averages higher;
+LEAP, which has no replicas, must localize the read set and is orders
+of magnitude slower.
+"""
+
+from _tpcc_cache import get_default_suite
+from repro.bench.report import print_table, ratio
+
+
+def test_fig4d_tpcc_stocklevel_latency(once):
+    results = once(get_default_suite)
+    rows = []
+    for system, result in results.items():
+        summary = result.latency("stock_level")
+        rows.append([system, summary.mean, summary.p90, summary.p99])
+    print_table(
+        "Figure 4d: TPC-C Stock-Level latency (ms)",
+        ["system", "mean", "p90", "p99"],
+        rows,
+    )
+
+    mean = {s: r.latency("stock_level").mean for s, r in results.items()}
+
+    print_table(
+        "Figure 4d: Stock-Level mean latency relative to DynaMast",
+        ["system", "measured x", "paper"],
+        [
+            ["single-master", ratio(mean["single-master"], mean["dynamast"]), "~1x"],
+            ["multi-master", ratio(mean["multi-master"], mean["dynamast"]), "~1x"],
+            ["partition-store", ratio(mean["partition-store"], mean["dynamast"]),
+             "higher (straggler)"],
+            ["leap", ratio(mean["leap"], mean["dynamast"]), "orders of magnitude"],
+        ],
+    )
+
+    # Replicated systems are all in the same band.
+    assert mean["multi-master"] <= 1.5 * mean["dynamast"]
+    assert mean["dynamast"] <= 1.5 * mean["multi-master"]
+    assert mean["single-master"] <= 2.0 * mean["dynamast"]
+    # LEAP's localization dominates everything else.
+    assert mean["leap"] >= 5.0 * mean["dynamast"], (
+        "paper: LEAP has orders-of-magnitude higher Stock-Level latency"
+    )
+    # Partition-store's multi-warehouse reads must not beat the
+    # replicated systems' local reads.
+    assert mean["partition-store"] >= 0.9 * mean["dynamast"]

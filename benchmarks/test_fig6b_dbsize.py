@@ -1,0 +1,42 @@
+"""Figure 6b (Appendix E): DynaMast throughput vs database size.
+
+Paper's shape: growing the initial database 6x (5 GB -> 30 GB) leaves
+the uniform mixes essentially unchanged (slight degradation on the
+write-intensive mix from extra tracking and remastering), while the
+skewed mix *improves* because the skew spreads over more items and
+contention drops.
+"""
+
+from repro.bench.experiments import fig6b_database_size
+from repro.bench.report import print_table, ratio
+
+
+def test_fig6b_database_size(once):
+    results = once(fig6b_database_size)
+
+    sizes = sorted(next(iter(results.values())))
+    rows = []
+    for mix, by_size in results.items():
+        small = by_size[sizes[0]].throughput
+        large = by_size[sizes[-1]].throughput
+        rows.append([mix, small, large, ratio(large, small)])
+    print_table(
+        "Figure 6b: DynaMast throughput, small vs 6x database",
+        ["mix", f"{sizes[0]} parts", f"{sizes[-1]} parts", "large/small"],
+        rows,
+    )
+
+    def change(mix):
+        return ratio(
+            results[mix][sizes[-1]].throughput, results[mix][sizes[0]].throughput
+        )
+
+    # Uniform mixes: little variation with database size.
+    assert 0.75 <= change("50-50U") <= 1.25, "uniform 50/50 should be flat"
+    assert 0.70 <= change("90-10U") <= 1.25, (
+        "write-intensive uniform may degrade slightly, not collapse"
+    )
+    # Skewed mix: the larger database spreads the skew -> no worse.
+    assert change("90-10S") >= 0.95, (
+        "paper: the skewed mix improves as the database grows"
+    )

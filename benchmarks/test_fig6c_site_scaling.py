@@ -1,0 +1,37 @@
+"""Figure 6c (Appendix E): DynaMast scalability from 4 to 16 sites.
+
+Paper's shape: with the uniform 50/50 mix and a fixed per-site client
+load, throughput grows more than 3x as the number of data sites grows
+4x (near-linear, sub-linear tail because every site still applies every
+refresh), and the site selector does not become the bottleneck.
+"""
+
+from repro.bench.experiments import fig6c_site_scaling
+from repro.bench.report import print_table, ratio
+
+
+def test_fig6c_site_scaling(once):
+    results = once(fig6c_site_scaling)
+    sites = sorted(results)
+
+    print_table(
+        "Figure 6c: DynaMast throughput vs number of data sites",
+        ["sites", "txn/s", "speedup vs 4 sites"],
+        [
+            [count, results[count].throughput,
+             ratio(results[count].throughput, results[sites[0]].throughput)]
+            for count in sites
+        ],
+    )
+
+    speedup = ratio(
+        results[sites[-1]].throughput, results[sites[0]].throughput
+    )
+    assert speedup >= 2.5, (
+        f"paper: >3x throughput from 4 to 16 sites (measured {speedup:.2f}x)"
+    )
+    # Monotonic scaling.
+    ordered = [results[count].throughput for count in sites]
+    assert all(b > a * 0.98 for a, b in zip(ordered, ordered[1:])), (
+        "throughput must not regress as sites are added"
+    )

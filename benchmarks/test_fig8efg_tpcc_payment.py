@@ -1,0 +1,80 @@
+"""Figures 8e-8g (Appendix G): TPC-C Payment latency.
+
+Paper's shape: single-master has the lowest average Payment latency
+(payments are light, so routing them all to one site is cheap);
+DynaMast is close behind, paying a little remastering for its much
+better New-Order latency and overall throughput; LEAP, partition-store
+and multi-master are far worse (data shipping / 2PC). As the
+cross-warehouse Payment rate grows 0 -> 15%, DynaMast's latency grows
+only slightly while the 2PC systems' grows much more (figure 8g).
+
+At this simulation's client counts the single-master site is saturated
+by the whole update load, so its Payment latency is queue-dominated and
+DynaMast's is lowest instead; the 2PC/shipping orderings hold.
+"""
+
+from _tpcc_cache import get_default_suite
+from repro.bench.experiments import cross_warehouse_sweep
+from repro.bench.report import print_table, ratio
+
+
+def test_fig8ef_payment_latency(once):
+    results = once(get_default_suite)
+    rows = []
+    for system, result in results.items():
+        summary = result.latency("payment")
+        rows.append([system, summary.mean, summary.p90, summary.p99])
+    print_table(
+        "Figures 8e/8f: TPC-C Payment latency (ms)",
+        ["system", "mean", "p90", "p99"],
+        rows,
+    )
+
+    mean = {s: r.latency("payment").mean for s, r in results.items()}
+    # DynaMast beats the shipping/2PC systems on Payment.
+    assert mean["dynamast"] <= mean["leap"], "paper: -99% vs LEAP (direction)"
+    assert mean["dynamast"] <= 1.05 * mean["partition-store"], (
+        "paper: -97% vs partition-store (direction)"
+    )
+    assert mean["dynamast"] <= 1.05 * mean["multi-master"], (
+        "paper: -96% vs multi-master (direction)"
+    )
+
+
+def test_fig8g_payment_cross_warehouse(once):
+    results = once(
+        cross_warehouse_sweep,
+        remote_fractions=(0.0, 0.15),
+        systems=("dynamast", "single-master", "multi-master", "partition-store"),
+        transaction="payment",
+    )
+    fractions = sorted(next(iter(results.values())))
+    rows = []
+    for system in results:
+        rows.append(
+            [system]
+            + [
+                results[system][fraction].latency("payment").mean
+                for fraction in fractions
+            ]
+        )
+    print_table(
+        "Figure 8g: Payment mean latency (ms) vs %% cross-warehouse",
+        ["system"] + [f"{int(f * 100)}%%" for f in fractions],
+        rows,
+    )
+
+    def increase(system):
+        return (
+            results[system][fractions[-1]].latency("payment").mean
+            - results[system][fractions[0]].latency("payment").mean
+        )
+
+    # DynaMast's Payment latency grows less than the 2PC systems' as
+    # cross-warehouse payments appear (paper: +0.2ms vs +10ms).
+    assert increase("dynamast") <= increase("partition-store") + 0.5
+    assert increase("dynamast") <= increase("multi-master") + 0.5
+    # Single-master is insensitive to the cross-warehouse rate.
+    assert abs(increase("single-master")) <= max(
+        3.0, abs(increase("partition-store"))
+    )

@@ -1,0 +1,57 @@
+"""§VI-B4: skewed (Zipfian 0.75) YCSB 90/10 RMW/scan throughput.
+
+Paper's shape: DynaMast spreads the hot partitions' master copies over
+all sites and improves throughput by ~10x over multi-master, ~4x over
+partition-store, ~1.8x over single-master and ~1.6x over LEAP. The
+fixed-placement systems cannot redistribute the hot partitions and
+bottleneck on the sites that own them.
+"""
+
+from repro.bench.experiments import skew_suite
+from repro.bench.report import print_table, ratio
+
+
+def test_skew_ycsb_throughput(once):
+    results = once(skew_suite)
+    tput = {system: result.throughput for system, result in results.items()}
+
+    print_table(
+        "Skewed YCSB (Zipf 0.75, 90/10) throughput",
+        ["system", "txn/s", "dynamast/x measured", "paper x"],
+        [
+            ["dynamast", tput["dynamast"], 1.0, 1.0],
+            ["leap", tput["leap"], ratio(tput["dynamast"], tput["leap"]), 1.6],
+            ["single-master", tput["single-master"],
+             ratio(tput["dynamast"], tput["single-master"]), 1.8],
+            ["partition-store", tput["partition-store"],
+             ratio(tput["dynamast"], tput["partition-store"]), 4.0],
+            ["multi-master", tput["multi-master"],
+             ratio(tput["dynamast"], tput["multi-master"]), 10.0],
+        ],
+    )
+
+    dynamast = results["dynamast"]
+    print_table(
+        "DynaMast under skew: balanced routing (paper Fig 5a: ~25% per site)",
+        ["site"] + [str(i) for i in range(len(dynamast.route_fractions))],
+        [["fraction"] + [round(f, 3) for f in dynamast.route_fractions]],
+    )
+
+    assert tput["dynamast"] == max(tput.values())
+    assert tput["dynamast"] >= 3.0 * tput["multi-master"], (
+        "paper: ~10x over multi-master under skew"
+    )
+    assert tput["dynamast"] >= 3.0 * tput["partition-store"], (
+        "paper: ~4x over partition-store under skew"
+    )
+    assert tput["dynamast"] >= 1.4 * tput["single-master"], (
+        "paper: ~1.8x over single-master under skew"
+    )
+    assert tput["dynamast"] >= 1.3 * tput["leap"], (
+        "paper: ~1.6x over LEAP under skew"
+    )
+    # DynaMast's routing stays balanced despite the skew.
+    fractions = dynamast.route_fractions
+    assert max(fractions) - min(fractions) < 0.15, (
+        "remastering must spread the hot masters across sites"
+    )

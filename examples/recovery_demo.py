@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fault tolerance: rebuild a data site and the mastership map from the
+redo logs (paper §V-C).
+
+Runs a short DynaMast workload with remastering, then simulates a site
+(or site-selector) failure by recovering the database state and the
+partition -> master map purely from the durable logs, and checks both
+against the live cluster.
+
+Run: ``python examples/recovery_demo.py``
+"""
+
+from repro.partitioning.schemes import PartitionScheme
+from repro.replication import recover_database, recover_mastership
+from repro.sim.config import ClusterConfig
+from repro.systems import Cluster, build_system
+from repro.transactions import Transaction
+
+
+def main():
+    cluster = Cluster(ClusterConfig(num_sites=3))
+    scheme = PartitionScheme(lambda key: key[1] // 10, num_partitions=6)
+    dynamast = build_system("dynamast", cluster, scheme=scheme)
+    initial_placement = dict(dynamast.selector.table.snapshot())
+
+    def client(client_id, keys_list):
+        session = dynamast.new_session(client_id)
+        for keys in keys_list:
+            txn = Transaction("w", client_id, write_set=tuple(("t", k) for k in keys))
+            yield from dynamast.submit(txn, session)
+
+    cluster.env.process(client(0, [(5, 15), (5, 15), (25, 35)]))
+    cluster.env.process(client(1, [(45, 55), (45, 5), (55, 15)]))
+    cluster.env.run(until=50.0)  # let every refresh drain
+
+    live_site = cluster.sites[0]
+    print(f"committed {sum(s.commits for s in cluster.sites)} update txns; "
+          f"{dynamast.selector.remaster_operations} remaster operations")
+    print("live svv at site 0:    ", live_site.svv.to_tuple())
+    print("live mastership:       ", dynamast.selector.table.snapshot())
+
+    # --- crash! recover from the logs alone -------------------------------
+    logs = [site.log for site in cluster.sites]
+    database, svv = recover_database(cluster.env, logs)
+    mastership = recover_mastership(logs, initial_placement)
+
+    print()
+    print("recovered svv:         ", svv.to_tuple())
+    print("recovered mastership:  ", mastership)
+
+    assert svv.to_tuple() == live_site.svv.to_tuple(), "svv mismatch!"
+    assert mastership == dynamast.selector.table.snapshot(), "mastership mismatch!"
+
+    # Every record's latest version must match the live replica.
+    mismatches = 0
+    checked = 0
+    for table_name, table in live_site.database.tables.items():
+        for record in table:
+            checked += 1
+            recovered = database.record(record.key)
+            if recovered is None or recovered.latest.value != record.latest.value:
+                mismatches += 1
+    print(f"record check: {checked} records compared, {mismatches} mismatches")
+    assert mismatches == 0
+    print("recovery OK: database and mastership reconstructed from redo logs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Benchmark harness: closed-loop clients, metrics, experiment drivers.
+
+:func:`~repro.bench.harness.run_benchmark` assembles a cluster, a
+system, and a workload, drives ``num_clients`` closed-loop clients for
+a simulated duration, and returns a :class:`~repro.bench.harness.RunResult`
+with throughput, per-transaction-type latency distributions, the
+latency breakdown of Figure 7, remastering/2PC/shipping counts, and
+network traffic by category.
+
+Every table and figure of the paper's evaluation has a driver in
+:mod:`repro.bench.experiments`, exercised by the ``benchmarks/`` tree.
+"""
+
+from repro.bench.harness import RunResult, run_benchmark
+from repro.bench.repeat import Estimate, RepeatedResult, run_repeated
+from repro.bench.metrics import LatencySummary, Metrics
+from repro.bench.report import format_row, print_table
+
+__all__ = [
+    "Estimate",
+    "LatencySummary",
+    "Metrics",
+    "RepeatedResult",
+    "RunResult",
+    "run_repeated",
+    "format_row",
+    "print_table",
+    "run_benchmark",
+]

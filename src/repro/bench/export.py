@@ -1,0 +1,96 @@
+"""Export benchmark results as JSON/CSV for downstream analysis.
+
+The figure benchmarks print human tables; this module serializes
+:class:`~repro.bench.harness.RunResult` objects (and dictionaries of
+them, as the experiment drivers return) into plain data suitable for
+plotting pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping
+
+from repro.bench.harness import RunResult
+
+#: Columns exported for each run.
+FIELDS = (
+    "system",
+    "workload",
+    "clients",
+    "throughput",
+    "mean_ms",
+    "p50_ms",
+    "p90_ms",
+    "p99_ms",
+    "remaster_rate",
+    "remastered_fraction",
+    "distributed_fraction",
+    "max_site_utilization",
+)
+
+
+def run_to_row(result: RunResult) -> Dict[str, object]:
+    """Flatten one run into an export row."""
+    latency = result.latency()
+    metrics = result.metrics
+    commits = max(1, metrics.commits)
+    return {
+        "system": result.system_name,
+        "workload": result.workload_name,
+        "clients": result.num_clients,
+        "throughput": round(result.throughput, 2),
+        "mean_ms": round(latency.mean, 4),
+        "p50_ms": round(latency.p50, 4),
+        "p90_ms": round(latency.p90, 4),
+        "p99_ms": round(latency.p99, 4),
+        "remaster_rate": round(result.remaster_rate, 5),
+        "remastered_fraction": round(metrics.remaster_fraction(), 5),
+        "distributed_fraction": round(metrics.distributed_txns / commits, 5),
+        "max_site_utilization": round(max(result.site_utilization, default=0.0), 4),
+    }
+
+
+def rows_from(results) -> List[Dict[str, object]]:
+    """Flatten a RunResult, a mapping of them, or nested mappings."""
+    if isinstance(results, RunResult):
+        return [run_to_row(results)]
+    if isinstance(results, Mapping):
+        rows: List[Dict[str, object]] = []
+        for key, value in results.items():
+            for row in rows_from(value):
+                row.setdefault("label", str(key))
+                rows.append(row)
+        return rows
+    raise TypeError(f"cannot export {type(results).__name__}")
+
+
+def to_json(results, indent: int = 2) -> str:
+    """Serialize results to a JSON string."""
+    return json.dumps(rows_from(results), indent=indent, sort_keys=True)
+
+
+def to_csv(results) -> str:
+    """Serialize results to a CSV string."""
+    rows = rows_from(results)
+    fields = list(FIELDS)
+    if any("label" in row for row in rows):
+        fields = ["label"] + fields
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_json(results, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_json(results))
+
+
+def write_csv(results, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_csv(results))

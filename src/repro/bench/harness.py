@@ -1,0 +1,142 @@
+"""Assemble and drive one benchmark run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.metrics import Metrics
+from repro.core.strategy import StrategyWeights
+from repro.sim.config import ClusterConfig
+from repro.systems import Cluster, build_system
+from repro.systems.base import System
+from repro.workloads.base import Workload
+
+#: Systems that maintain replicas at every site.
+REPLICATED_SYSTEMS = {"dynamast", "single-master", "multi-master"}
+ALL_SYSTEMS = ("dynamast", "single-master", "multi-master", "partition-store", "leap")
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one benchmark run."""
+
+    system_name: str
+    workload_name: str
+    num_clients: int
+    duration_ms: float
+    warmup_ms: float
+    metrics: Metrics
+    #: Committed transactions per simulated second (post-warmup).
+    throughput: float
+    #: Fraction of update txns the site selector had to remaster
+    #: (DynaMast family) — the paper's <3% claim (§VI-B7).
+    remaster_rate: float
+    #: Fraction of update requests routed to each site (Fig. 5a).
+    route_fractions: List[float]
+    #: Bytes on the wire by category (client / replication / remaster /
+    #: 2pc / ship) — the Appendix D traffic analysis.
+    traffic_bytes: Dict[str, int]
+    #: Per-site CPU utilization over the run.
+    site_utilization: List[float]
+    #: The live system object, for deeper inspection in tests/benches.
+    system: System = field(repr=False, default=None)
+
+    def latency(self, txn_type: Optional[str] = None):
+        return self.metrics.latency(txn_type)
+
+
+def run_benchmark(
+    system_name: str,
+    workload: Workload,
+    *,
+    num_clients: int = 50,
+    duration_ms: float = 2000.0,
+    warmup_ms: float = 500.0,
+    cluster_config: Optional[ClusterConfig] = None,
+    weights: Optional[StrategyWeights] = None,
+    placement: Optional[Dict[int, int]] = None,
+    seed: int = 0,
+    load_data: bool = False,
+    events: Sequence[Tuple[float, Callable]] = (),
+) -> RunResult:
+    """Run ``workload`` against one system and measure it.
+
+    ``events`` is a list of ``(time_ms, fn)`` pairs; each ``fn(system,
+    workload)`` fires at the given simulated time (used to change the
+    workload mid-run in the adaptivity experiment). Latencies are
+    recorded only for transactions that *start* after ``warmup_ms``.
+    """
+    if system_name not in ALL_SYSTEMS:
+        raise ValueError(f"unknown system {system_name!r}; expected one of {ALL_SYSTEMS}")
+    config = cluster_config or ClusterConfig()
+    if seed:
+        config = config.scaled(seed=seed)
+    cluster = Cluster(config, replicated=system_name in REPLICATED_SYSTEMS)
+    scheme = workload.scheme
+
+    kwargs: Dict = {"scheme": scheme}
+    if system_name == "dynamast":
+        kwargs["weights"] = weights or workload.recommended_weights()
+        if placement is not None:
+            kwargs["placement"] = placement
+    elif system_name != "single-master":
+        kwargs["placement"] = placement or workload.fixed_placement(config.num_sites)
+        if system_name in ("multi-master", "partition-store"):
+            kwargs["unit_of"] = workload.placement_unit_of
+    system = build_system(system_name, cluster, **kwargs)
+
+    if load_data:
+        fixed = placement or workload.fixed_placement(config.num_sites)
+        cluster.load(
+            workload.initial_records(),
+            owner_of=scheme.owner_lookup(fixed),
+        )
+
+    metrics = Metrics()
+    rng = cluster.streams.stream("workload")
+    for client_id in range(num_clients):
+        cluster.env.process(
+            _client_loop(system, workload, client_id, rng, metrics, warmup_ms)
+        )
+    for when, fn in events:
+        cluster.env.process(_fire_event(cluster.env, when, fn, system, workload))
+
+    cluster.env.run(until=duration_ms)
+
+    window = duration_ms - warmup_ms
+    selector = getattr(system, "selector", None)
+    return RunResult(
+        system_name=system_name,
+        workload_name=workload.name,
+        num_clients=num_clients,
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+        metrics=metrics,
+        throughput=metrics.throughput(window),
+        remaster_rate=selector.remaster_rate() if selector else 0.0,
+        route_fractions=selector.route_fractions() if selector else [],
+        traffic_bytes=dict(cluster.network.traffic.bytes_by_category),
+        site_utilization=[site.utilization() for site in cluster.sites],
+        system=system,
+    )
+
+
+def _client_loop(system, workload, client_id, rng, metrics, warmup_ms):
+    """One closed-loop client issuing transactions back to back."""
+    env = system.env
+    state = workload.new_client_state(client_id, rng)
+    session = system.new_session(client_id)
+    while True:
+        turn = workload.next_transaction(state, rng, env.now)
+        if turn.reset_session:
+            session = system.new_session(client_id)
+        started = env.now
+        outcome = yield from system.submit(turn.txn, session)
+        if started >= warmup_ms:
+            metrics.record(turn.txn, outcome, env.now - started, env.now)
+
+
+def _fire_event(env, when, fn, system, workload):
+    yield env.timeout(when)
+    fn(system, workload)

@@ -1,0 +1,131 @@
+"""Run metrics: latency distributions, throughput, breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.transactions import Outcome, Transaction
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample (milliseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p90=_percentile(ordered, 0.90),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            maximum=ordered[-1],
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a pre-sorted sample."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class Metrics:
+    """Collects per-transaction measurements during a run."""
+
+    def __init__(self):
+        self.latencies: Dict[str, List[float]] = {}
+        self.commit_times: List[float] = []
+        self.commits = 0
+        self.remastered_txns = 0
+        self.distributed_txns = 0
+        self.phase_totals: Dict[str, float] = {}
+
+    def record(
+        self,
+        txn: Transaction,
+        outcome: Outcome,
+        latency: float,
+        now: float,
+    ) -> None:
+        """Account one completed transaction."""
+        if not outcome.committed:
+            return
+        self.commits += 1
+        self.commit_times.append(now)
+        self.latencies.setdefault(txn.txn_type, []).append(latency)
+        if outcome.remastered:
+            self.remastered_txns += 1
+        if outcome.distributed:
+            self.distributed_txns += 1
+        accounted = 0.0
+        for phase, duration in txn.timings.items():
+            self.phase_totals[phase] = self.phase_totals.get(phase, 0.0) + duration
+            accounted += duration
+        # Anything not explicitly timed (queueing between phases).
+        other = max(0.0, latency - accounted)
+        self.phase_totals["other"] = self.phase_totals.get("other", 0.0) + other
+
+    # -- summaries -----------------------------------------------------------
+
+    def latency(self, txn_type: Optional[str] = None) -> LatencySummary:
+        """Latency summary for one transaction type, or all combined."""
+        if txn_type is not None:
+            return LatencySummary.of(self.latencies.get(txn_type, ()))
+        combined: List[float] = []
+        for samples in self.latencies.values():
+            combined.extend(samples)
+        return LatencySummary.of(combined)
+
+    def txn_types(self) -> List[str]:
+        return sorted(self.latencies)
+
+    def throughput(self, window_ms: float) -> float:
+        """Committed transactions per simulated second."""
+        if window_ms <= 0:
+            return 0.0
+        return self.commits / (window_ms / 1000.0)
+
+    def timeline(self, bucket_ms: float, start: float, end: float) -> List[tuple]:
+        """(bucket start, txn/s) series — the adaptivity figure."""
+        if bucket_ms <= 0 or end <= start:
+            return []
+        buckets = int((end - start) // bucket_ms) + 1
+        counts = [0] * buckets
+        for time in self.commit_times:
+            if start <= time < end:
+                counts[int((time - start) // bucket_ms)] += 1
+        return [
+            (start + index * bucket_ms, count / (bucket_ms / 1000.0))
+            for index, count in enumerate(counts)
+        ]
+
+    def breakdown(self) -> Dict[str, float]:
+        """Phase -> fraction of total accounted latency (Figure 7)."""
+        total = sum(self.phase_totals.values())
+        if total <= 0:
+            return {}
+        return {
+            phase: duration / total
+            for phase, duration in sorted(self.phase_totals.items())
+        }
+
+    def remaster_fraction(self) -> float:
+        """Fraction of committed txns that needed remastering/shipping."""
+        if self.commits == 0:
+            return 0.0
+        return self.remastered_txns / self.commits

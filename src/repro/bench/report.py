@@ -1,0 +1,49 @@
+"""Plain-text tables for benchmark output (paper-vs-measured rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_row(cells: Sequence, widths: Sequence[int]) -> str:
+    """Format one row with right-aligned numeric cells."""
+    parts = []
+    for cell, width in zip(cells, widths):
+        if isinstance(cell, float):
+            text = f"{cell:,.2f}"
+        elif isinstance(cell, int):
+            text = f"{cell:,}"
+        else:
+            text = str(cell)
+        if isinstance(cell, (int, float)):
+            parts.append(text.rjust(width))
+        else:
+            parts.append(text.ljust(width))
+    return "  ".join(parts)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a titled, aligned table to stdout."""
+    rows = [list(row) for row in rows]
+    widths: List[int] = []
+    for column in range(len(headers)):
+        cells = [headers[column]] + [
+            f"{row[column]:,.2f}" if isinstance(row[column], float)
+            else f"{row[column]:,}" if isinstance(row[column], int)
+            else str(row[column])
+            for row in rows
+        ]
+        widths.append(max(len(str(cell)) for cell in cells))
+    print()
+    print(f"== {title} ==")
+    print(format_row(headers, widths))
+    print("  ".join("-" * width for width in widths))
+    for row in rows:
+        print(format_row(row, widths))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio for speedup reporting."""
+    if denominator <= 0:
+        return float("inf") if numerator > 0 else 0.0
+    return numerator / denominator

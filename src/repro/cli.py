@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``bench`` — run one system x workload combination and print a
+  metrics report;
+* ``compare`` — run several systems on the same workload and print a
+  comparison table;
+* ``experiments`` — list the per-figure experiment drivers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import print_table, run_benchmark
+from repro.bench.harness import ALL_SYSTEMS
+from repro.sim.config import ClusterConfig
+from repro.workloads import (
+    SmallBankWorkload,
+    TPCCConfig,
+    TPCCWorkload,
+    YCSBConfig,
+    YCSBWorkload,
+)
+from repro.workloads.smallbank import SmallBankConfig
+
+WORKLOADS = ("ycsb", "tpcc", "smallbank")
+
+
+def make_workload(name: str, args):
+    """Instantiate a workload from CLI arguments."""
+    if name == "ycsb":
+        return YCSBWorkload(
+            YCSBConfig(rmw_fraction=args.rmw, zipf_theta=args.skew)
+        )
+    if name == "tpcc":
+        return TPCCWorkload(
+            TPCCConfig(neworder_remote_fraction=args.remote)
+        )
+    if name == "smallbank":
+        return SmallBankWorkload(SmallBankConfig())
+    raise ValueError(f"unknown workload {name!r}; expected one of {WORKLOADS}")
+
+
+def add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=WORKLOADS, default="ycsb")
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=1000.0,
+                        help="simulated milliseconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rmw", type=float, default=0.5,
+                        help="[ycsb] RMW fraction")
+    parser.add_argument("--skew", type=float, default=0.0,
+                        help="[ycsb] Zipfian theta")
+    parser.add_argument("--remote", type=float, default=0.10,
+                        help="[tpcc] cross-warehouse New-Order fraction")
+
+
+def run_one(system: str, args):
+    workload = make_workload(args.workload, args)
+    return run_benchmark(
+        system,
+        workload,
+        num_clients=args.clients,
+        duration_ms=args.duration,
+        warmup_ms=args.duration / 4,
+        cluster_config=ClusterConfig(
+            num_sites=args.sites, cores_per_site=args.cores
+        ),
+        seed=args.seed,
+    )
+
+
+def cmd_bench(args) -> int:
+    result = run_one(args.system, args)
+    rows = []
+    for txn_type in result.metrics.txn_types():
+        summary = result.latency(txn_type)
+        rows.append([txn_type, summary.count, summary.mean, summary.p90,
+                     summary.p99])
+    print_table(
+        f"{args.system} on {args.workload}: {result.throughput:,.0f} txn/s",
+        ["txn type", "count", "mean ms", "p90 ms", "p99 ms"],
+        rows,
+    )
+    print_table(
+        "protocol activity",
+        ["metric", "value"],
+        [
+            ["remaster/ship fraction", f"{result.metrics.remaster_fraction():.2%}"],
+            ["distributed txns",
+             f"{result.metrics.distributed_txns / max(1, result.metrics.commits):.2%}"],
+            ["site utilization", " ".join(f"{u:.2f}" for u in result.site_utilization)],
+        ],
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    systems = args.systems.split(",") if args.systems else list(ALL_SYSTEMS)
+    rows = []
+    results = {}
+    for system in systems:
+        result = run_one(system, args)
+        results[system] = result
+        combined = result.latency()
+        rows.append([
+            system,
+            result.throughput,
+            combined.mean,
+            combined.p99,
+            f"{result.metrics.remaster_fraction():.1%}",
+        ])
+        print(f"ran {system}", file=sys.stderr)
+    print_table(
+        f"{args.workload}, {args.clients} clients, {args.sites} sites",
+        ["system", "txn/s", "mean ms", "p99 ms", "remaster/ship"],
+        rows,
+    )
+    if args.csv:
+        from repro.bench.export import write_csv
+
+        write_csv(results, args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.json:
+        from repro.bench.export import write_json
+
+        write_json(results, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    from repro.bench import experiments
+
+    drivers = [
+        ("fig4a_ycsb_uniform", "Fig 4a: YCSB uniform 50/50 throughput vs clients"),
+        ("fig4b_ycsb_write_heavy", "Fig 4b: YCSB uniform 90/10 throughput"),
+        ("tpcc_default_suite", "Figs 4c/4d/8e/8f: TPC-C latency, default mix"),
+        ("fig4e_neworder_mix", "Fig 4e: throughput vs %New-Order"),
+        ("cross_warehouse_sweep", "§VI-B3/Fig 8g: latency vs %cross-warehouse"),
+        ("skew_suite", "§VI-B4: skewed YCSB throughput"),
+        ("fig5b_adaptivity", "Fig 5b: adaptivity to workload change"),
+        ("fig5a_sensitivity", "Fig 5a/§VI-B6: hyperparameter sensitivity"),
+        ("fig7_breakdown", "Fig 7/App D: latency breakdown + overheads"),
+        ("fig6b_database_size", "Fig 6b: database size scaling"),
+        ("fig6c_site_scaling", "Fig 6c: 4 -> 16 site scalability"),
+        ("smallbank_suite", "Figs 8a-8d: SmallBank"),
+    ]
+    print_table(
+        "experiment drivers (repro.bench.experiments)",
+        ["driver", "reproduces"],
+        [[name, description] for name, description in drivers],
+    )
+    for name, _ in drivers:
+        assert hasattr(experiments, name), f"missing driver {name}"
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DynaMast reproduction toolkit"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    bench = commands.add_parser("bench", help="run one system on one workload")
+    bench.add_argument("system", choices=ALL_SYSTEMS)
+    add_common_arguments(bench)
+    bench.set_defaults(fn=cmd_bench)
+
+    compare = commands.add_parser("compare", help="compare systems on a workload")
+    compare.add_argument("--systems", default="",
+                         help="comma-separated subset (default: all five)")
+    compare.add_argument("--csv", default="", help="also write results as CSV")
+    compare.add_argument("--json", default="", help="also write results as JSON")
+    add_common_arguments(compare)
+    compare.set_defaults(fn=cmd_compare)
+
+    experiments = commands.add_parser("experiments", help="list figure drivers")
+    experiments.set_defaults(fn=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Partition metadata maintained by the site selector (paper §V-B).
+
+For each partition group the selector stores the current master
+location and a readers-writer lock. Routing takes the locks of the
+touched partitions in shared mode; remastering upgrades to exclusive
+mode, which serializes concurrent remastering of the same partition
+while letting unrelated transactions route in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.sim.core import Environment
+from repro.sim.resources import RWLock
+
+
+class PartitionInfo:
+    """Metadata for one partition group."""
+
+    __slots__ = ("partition", "master", "lock")
+
+    def __init__(self, partition: int, master: int, env: Environment):
+        self.partition = partition
+        self.master = master
+        self.lock = RWLock(env)
+
+
+class PartitionTable:
+    """The selector's concurrent map: partition -> (master, lock)."""
+
+    def __init__(self, env: Environment, placement: Dict[int, int]):
+        self.env = env
+        self._infos: Dict[int, PartitionInfo] = {
+            partition: PartitionInfo(partition, master, env)
+            for partition, master in placement.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def info(self, partition: int) -> PartitionInfo:
+        try:
+            return self._infos[partition]
+        except KeyError:
+            raise KeyError(f"unknown partition {partition}") from None
+
+    def master_of(self, partition: int) -> int:
+        return self.info(partition).master
+
+    def set_master(self, partition: int, site: int) -> None:
+        self.info(partition).master = site
+
+    def masters_of(self, partitions: Iterable[int]) -> Set[int]:
+        """Distinct sites mastering the given partitions."""
+        return {self.info(partition).master for partition in partitions}
+
+    def group_by_master(self, partitions: Iterable[int]) -> Dict[int, List[int]]:
+        """Partition ids grouped by their current master site."""
+        groups: Dict[int, List[int]] = {}
+        for partition in partitions:
+            groups.setdefault(self.info(partition).master, []).append(partition)
+        return groups
+
+    def snapshot(self) -> Dict[int, int]:
+        """Current partition -> master map (for recovery tests/tools)."""
+        return {partition: info.master for partition, info in self._infos.items()}
+
+    def masters_per_site(self, num_sites: int) -> List[int]:
+        """How many partitions each site currently masters."""
+        counts = [0] * num_sites
+        for info in self._infos.values():
+            counts[info.master] += 1
+        return counts

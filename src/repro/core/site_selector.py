@@ -1,0 +1,233 @@
+"""The site selector: routing and the remastering protocol (§III-B, §V-B).
+
+Write routing: look up the master of every write-set partition under
+shared partition locks; if one site masters them all, route there.
+Otherwise upgrade to exclusive locks, pick a destination with the
+:class:`~repro.core.strategy.RemasterStrategy`, and run Algorithm 1 —
+parallel ``release``/``grant`` chains per source site — before routing.
+The transaction's minimum begin version is the element-wise max of the
+grant vectors.
+
+Read routing (§IV-B): a uniformly random site satisfying the client's
+session freshness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.partitions import PartitionTable
+from repro.core.statistics import AccessStatistics, StatisticsConfig
+from repro.core.strategy import RemasterStrategy, StrategyWeights
+from repro.partitioning.schemes import PartitionScheme
+from repro.sim.resources import Resource
+from repro.sites.messages import remote_call
+from repro.systems.base import Cluster, Session
+from repro.transactions import Transaction
+from repro.versioning.vectors import VersionVector
+
+
+@dataclass(slots=True)
+class RouteResult:
+    """The site selector's answer for an update transaction."""
+
+    site: int
+    #: Minimum version the transaction must observe at the execution
+    #: site (None when no remastering was needed).
+    min_vv: Optional[VersionVector]
+    partitions: Tuple[int, ...]
+    remastered: bool
+    partitions_moved: int = 0
+
+
+class SiteSelector:
+    """Routes transactions and drives remastering for one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheme: PartitionScheme,
+        placement: Dict[int, int],
+        weights: Optional[StrategyWeights] = None,
+        stats_config: Optional[StatisticsConfig] = None,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = cluster.config
+        self.network = cluster.network
+        self.scheme = scheme
+        self.cpu = Resource(self.env, self.config.selector_cores)
+        self.table = PartitionTable(self.env, placement)
+        self.statistics = AccessStatistics(
+            stats_config, rng=cluster.streams.stream("selector-sampling")
+        )
+        self.strategy = RemasterStrategy(
+            weights or StrategyWeights(),
+            self.statistics,
+            self.table,
+            cluster.num_sites,
+            rng=cluster.streams.stream("strategy-tiebreak"),
+        )
+        self._read_rng = cluster.streams.stream("read-routing")
+        # Counters for the paper's overhead analysis (§VI-B6/B7).
+        self.updates_routed = 0
+        self.reads_routed = 0
+        self.updates_remastered = 0
+        self.remaster_operations = 0
+        self.partitions_moved = 0
+        self.route_counts: List[int] = [0] * cluster.num_sites
+
+    # -- write routing (Algorithm 1 driver) ------------------------------------
+
+    def route_update(self, txn: Transaction, session: Optional[Session] = None):
+        """Decide (and if needed remaster) where ``txn`` executes.
+
+        Generator returning a :class:`RouteResult`. On return, the
+        transaction is registered as in-flight on its partitions at the
+        chosen site, so a subsequent release will wait for it.
+        """
+        env = self.env
+        partitions = sorted(self.scheme.partitions_of(txn.write_set))
+        lock_started = env.now
+        yield from self.cpu.use(self.config.costs.route_lookup_ms)
+        for partition in partitions:
+            yield self.table.info(partition).lock.acquire_read()
+        txn.add_timing("selector_lock", env.now - lock_started)
+        self.statistics.observe(env.now, txn.client_id, partitions)
+
+        masters = self.table.masters_of(partitions)
+        if len(masters) <= 1:
+            site = masters.pop() if masters else 0
+            self._register(site, partitions, shared=True)
+            return RouteResult(site, None, tuple(partitions), False)
+
+        # Distributed masters: upgrade to exclusive partition locks.
+        decision_started = env.now
+        for partition in partitions:
+            self.table.info(partition).lock.release_read()
+        for partition in partitions:
+            yield self.table.info(partition).lock.acquire_write()
+        masters = self.table.masters_of(partitions)
+        if len(masters) == 1:
+            # A concurrent remastering co-located the write set for us
+            # (clients benefit from remastering initiated by clients
+            # with common write sets, §III-B).
+            site = masters.pop()
+            txn.add_timing("routing", env.now - decision_started)
+            self._register(site, partitions, shared=False)
+            return RouteResult(site, None, tuple(partitions), False)
+
+        yield from self.cpu.use(self.config.costs.remaster_decision_ms)
+        site_vvs = [site.svv for site in self.cluster.sites]
+        session_vv = session.cvv if session is not None else None
+        destination, _scores = self.strategy.choose_site(
+            partitions, site_vvs, session_vv
+        )
+        moves = [
+            (source, tuple(group))
+            for source, group in self.table.group_by_master(partitions).items()
+            if source != destination
+        ]
+        # Keep exclusive locks only on the partitions actually moving;
+        # the rest downgrade to shared so that unrelated transactions on
+        # those (typically hot, stationary) partitions keep routing
+        # while the release/grant protocol runs.
+        moving = {partition for _, group in moves for partition in group}
+        for partition in partitions:
+            if partition not in moving:
+                self.table.info(partition).lock.downgrade()
+        grant_processes = [
+            env.process(self._move(source, group, destination))
+            for source, group in moves
+        ]
+        grant_vvs = yield env.all_of(grant_processes)
+        min_vv = VersionVector.zeros(self.cluster.num_sites)
+        for grant_vv in grant_vvs:
+            min_vv = min_vv.element_max(grant_vv)
+        for _, group in moves:
+            for partition in group:
+                self.table.set_master(partition, destination)
+        moved = sum(len(group) for group in (group for _, group in moves))
+        self.remaster_operations += len(moves)
+        self.partitions_moved += moved
+        self.updates_remastered += 1
+        txn.add_timing("routing", env.now - decision_started)
+        self._register(destination, partitions, exclusive=moving)
+        return RouteResult(destination, min_vv, tuple(partitions), True, moved)
+
+    def _register(
+        self,
+        site: int,
+        partitions: Sequence[int],
+        shared: bool = False,
+        exclusive: Optional[set] = None,
+    ) -> None:
+        """Register the routed txn in-flight, then drop partition locks.
+
+        ``shared=True`` releases read holds on everything; otherwise
+        partitions in ``exclusive`` release write holds and the rest
+        release read holds (the downgraded stationary partitions of a
+        remastering).
+        """
+        self.cluster.activity.begin(site, partitions)
+        for partition in partitions:
+            info = self.table.info(partition)
+            if shared:
+                info.lock.release_read()
+            elif exclusive is None or partition in exclusive:
+                info.lock.release_write()
+            else:
+                info.lock.release_read()
+        self.updates_routed += 1
+        self.route_counts[site] += 1
+
+    def _move(self, source: int, partitions: Tuple[int, ...], destination: int):
+        """One release -> grant chain of Algorithm 1 (lines 7-8)."""
+        sites = self.cluster.sites
+        release_vv = yield from remote_call(
+            self.network,
+            sites[source].release_mastership(partitions),
+            category="remaster",
+        )
+        grant_vv = yield from remote_call(
+            self.network,
+            sites[destination].grant_mastership(partitions, release_vv, source=source),
+            category="remaster",
+        )
+        return grant_vv
+
+    # -- read routing (§IV-B) --------------------------------------------------------
+
+    def route_read(self, txn: Transaction, session: Session):
+        """Pick a session-fresh site for a read-only transaction."""
+        yield from self.cpu.use(self.config.costs.route_lookup_ms)
+        fresh = [
+            site.index
+            for site in self.cluster.sites
+            if site.svv.dominates(session.cvv)
+        ]
+        if fresh:
+            choice = fresh[self._read_rng.randrange(len(fresh))]
+        else:
+            choice = min(
+                self.cluster.sites,
+                key=lambda site: site.svv.lag_behind(session.cvv),
+            ).index
+        self.reads_routed += 1
+        return choice
+
+    # -- introspection -------------------------------------------------------------------
+
+    def remaster_rate(self) -> float:
+        """Fraction of routed update transactions that required remastering."""
+        if self.updates_routed == 0:
+            return 0.0
+        return self.updates_remastered / self.updates_routed
+
+    def route_fractions(self) -> List[float]:
+        """Fraction of update requests routed to each site (Fig. 5a)."""
+        total = sum(self.route_counts)
+        if total == 0:
+            return [0.0] * len(self.route_counts)
+        return [count / total for count in self.route_counts]

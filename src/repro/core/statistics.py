@@ -1,0 +1,210 @@
+"""Workload access statistics (paper §V-B).
+
+The site selector adaptively samples transaction write sets and
+maintains, per partition:
+
+* a write access count (the load-balance feature's ``freq``);
+* intra-transaction co-access counts — partitions written together in
+  one transaction (Equation 6's :math:`P(d_2 | d_1)`);
+* inter-transaction co-access counts — partitions written by the same
+  client within a time window :math:`\\Delta t` of each other
+  (Equation 7's :math:`P(d_2 | d_1; T \\le \\Delta t)`).
+
+Samples are recorded in a bounded history queue; expiring a sample
+decrements every count it contributed, so the statistics track a
+sliding window of the workload and adapt when access patterns change
+(§VI-B5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class StatisticsConfig:
+    """Sampling and retention knobs."""
+
+    #: Fraction of write transactions sampled into the statistics.
+    sample_rate: float = 1.0
+    #: The inter-transaction window Delta-t, in simulated ms.
+    inter_txn_window_ms: float = 20.0
+    #: Sample lifetime; expired samples decrement their counts.
+    expiry_ms: float = 4000.0
+    #: Hard cap on retained samples (memory bound).
+    max_samples: int = 20000
+    #: Cap on inter-transaction pairs contributed by one sample.
+    max_inter_pairs: int = 64
+
+
+@dataclass(slots=True)
+class _Sample:
+    """One sampled write set and the exact counts it contributed."""
+
+    time: float
+    client_id: int
+    partitions: Tuple[int, ...]
+    inter_pairs: Tuple[Tuple[int, int], ...]
+
+
+class AccessStatistics:
+    """Sliding-window partition access and co-access statistics."""
+
+    def __init__(self, config: Optional[StatisticsConfig] = None, rng=None):
+        self.config = config or StatisticsConfig()
+        self._rng = rng
+        self.partition_writes: Dict[int, float] = {}
+        self.total_writes: float = 0.0
+        self.co_intra: Dict[int, Dict[int, float]] = {}
+        self.co_inter: Dict[int, Dict[int, float]] = {}
+        self._samples: Deque[_Sample] = deque()
+        #: Per-client recent write sets for the inter-txn window.
+        self._recent: Dict[int, Deque[Tuple[float, Tuple[int, ...]]]] = {}
+        self.observed = 0
+        self.sampled = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def observe(self, now: float, client_id: int, partitions: Iterable[int]) -> None:
+        """Record one write transaction's partition set (maybe sampled)."""
+        self.observed += 1
+        partitions = tuple(sorted(set(partitions)))
+        if not partitions:
+            return
+        if self._rng is not None and self.config.sample_rate < 1.0:
+            if self._rng.random() >= self.config.sample_rate:
+                return
+        self.sampled += 1
+        self._expire(now)
+
+        for partition in partitions:
+            self.partition_writes[partition] = (
+                self.partition_writes.get(partition, 0.0) + 1.0
+            )
+        self.total_writes += 1.0
+
+        for index, left in enumerate(partitions):
+            for right in partitions[index + 1:]:
+                self._bump(self.co_intra, left, right, 1.0)
+                self._bump(self.co_intra, right, left, 1.0)
+
+        inter_pairs = self._record_inter(now, client_id, partitions)
+        self._samples.append(_Sample(now, client_id, partitions, inter_pairs))
+        if len(self._samples) > self.config.max_samples:
+            self._remove(self._samples.popleft())
+
+    def _record_inter(
+        self, now: float, client_id: int, partitions: Tuple[int, ...]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Pair this write set with the client's recent ones within Δt."""
+        window = self.config.inter_txn_window_ms
+        recent = self._recent.setdefault(client_id, deque())
+        while recent and recent[0][0] < now - window:
+            recent.popleft()
+        pairs: List[Tuple[int, int]] = []
+        cap = self.config.max_inter_pairs
+        for _, previous in recent:
+            for earlier in previous:
+                for later in partitions:
+                    if earlier == later or len(pairs) >= cap:
+                        continue
+                    self._bump(self.co_inter, earlier, later, 1.0)
+                    pairs.append((earlier, later))
+        recent.append((now, partitions))
+        return tuple(pairs)
+
+    @staticmethod
+    def _bump(table: Dict[int, Dict[int, float]], left: int, right: int, amount: float) -> None:
+        row = table.setdefault(left, {})
+        row[right] = row.get(right, 0.0) + amount
+
+    # -- expiry -----------------------------------------------------------------
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.config.expiry_ms
+        while self._samples and self._samples[0].time < horizon:
+            self._remove(self._samples.popleft())
+
+    def _remove(self, sample: _Sample) -> None:
+        for partition in sample.partitions:
+            count = self.partition_writes.get(partition, 0.0) - 1.0
+            if count <= 0:
+                self.partition_writes.pop(partition, None)
+            else:
+                self.partition_writes[partition] = count
+        self.total_writes = max(0.0, self.total_writes - 1.0)
+        for index, left in enumerate(sample.partitions):
+            for right in sample.partitions[index + 1:]:
+                self._decay(self.co_intra, left, right)
+                self._decay(self.co_intra, right, left)
+        for earlier, later in sample.inter_pairs:
+            self._decay(self.co_inter, earlier, later)
+
+    @staticmethod
+    def _decay(table: Dict[int, Dict[int, float]], left: int, right: int) -> None:
+        row = table.get(left)
+        if row is None:
+            return
+        count = row.get(right, 0.0) - 1.0
+        if count <= 0:
+            row.pop(right, None)
+            if not row:
+                table.pop(left, None)
+        else:
+            row[right] = count
+
+    # -- queries -------------------------------------------------------------------
+
+    def write_fraction(self, partition: int) -> float:
+        """Fraction of sampled write transactions touching ``partition``."""
+        if self.total_writes <= 0:
+            return 0.0
+        return self.partition_writes.get(partition, 0.0) / self.total_writes
+
+    def access_fraction(self, partition: int) -> float:
+        """``partition``'s share of all sampled write accesses.
+
+        Unlike :meth:`write_fraction` this normalizes by total access
+        mass, so summing over all partitions yields 1 — the ``freq``
+        needed by the load-balance feature (Equation 2).
+        """
+        total = sum(self.partition_writes.values())
+        if total <= 0:
+            return 0.0
+        return self.partition_writes.get(partition, 0.0) / total
+
+    def intra_probability(self, first: int, second: int) -> float:
+        """P(second | first) within a transaction (Eq. 6 numerator)."""
+        base = self.partition_writes.get(first, 0.0)
+        if base <= 0:
+            return 0.0
+        return self.co_intra.get(first, {}).get(second, 0.0) / base
+
+    def inter_probability(self, first: int, second: int) -> float:
+        """P(second | first; T <= Δt) across transactions (Eq. 7)."""
+        base = self.partition_writes.get(first, 0.0)
+        if base <= 0:
+            return 0.0
+        return self.co_inter.get(first, {}).get(second, 0.0) / base
+
+    def intra_partners(self, partition: int) -> Dict[int, float]:
+        """Co-access counts of partitions written with ``partition``."""
+        return self.co_intra.get(partition, {})
+
+    def inter_partners(self, partition: int) -> Dict[int, float]:
+        return self.co_inter.get(partition, {})
+
+    def site_write_loads(self, master_of, num_sites: int) -> List[float]:
+        """Fraction of sampled writes mastered at each site.
+
+        ``master_of`` maps a partition id to its current master site.
+        """
+        loads = [0.0] * num_sites
+        total = sum(self.partition_writes.values())
+        if total <= 0:
+            return loads
+        for partition, count in self.partition_writes.items():
+            loads[master_of(partition)] += count
+        return [load / total for load in loads]

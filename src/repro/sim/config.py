@@ -1,0 +1,120 @@
+"""Cluster-wide simulation configuration and CPU cost model.
+
+The absolute values are a scaled-down stand-in for the paper's 12-core
+machines (we default to 4 simulated cores and proportionally larger
+per-operation costs so runs stay small); what matters for reproducing
+the paper's *shapes* is the cost structure:
+
+* transactions consume CPU at their execution site (queueing for cores
+  is what saturates the single-master site);
+* every replicated write later consumes (cheaper) refresh CPU at every
+  replica (the multi-master replication overhead);
+* 2PC adds whole network round trips and holds locks across them;
+* data shipping (LEAP) pays per-record marshalling CPU and bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.network import NetworkConfig
+
+
+@dataclass
+class CostModel:
+    """Per-operation CPU costs in simulated milliseconds."""
+
+    #: Fixed cost to begin one transaction branch at a site: request
+    #: dispatch/unmarshalling, snapshot setup, lock bookkeeping. Charged
+    #: per participating site, so scatter-gather reads and multi-branch
+    #: 2PC writes pay it once per shard.
+    txn_begin_ms: float = 0.15
+    #: Fixed cost to commit (log record construction, version stamping).
+    txn_commit_ms: float = 0.05
+    #: Point read of one record.
+    read_op_ms: float = 0.02
+    #: Write of one record (new version creation).
+    write_op_ms: float = 0.05
+    #: Per-record cost inside a range scan (in-memory sequential read).
+    scan_op_ms: float = 0.001
+    #: Per-record cost to apply a refresh transaction at a replica
+    #: (version installation only - no transaction logic, locks, or
+    #: index lookups, so far cheaper than an original write).
+    refresh_op_ms: float = 0.004
+    #: Fixed cost to apply a refresh transaction (dequeue, rule check).
+    refresh_base_ms: float = 0.01
+    #: 2PC prepare work at a participant (force-log the prepare record).
+    prepare_ms: float = 0.4
+    #: 2PC commit/abort record processing at a participant.
+    decide_ms: float = 0.1
+    #: Coordinator-side work per branch and per round of 2PC (request
+    #: marshalling, vote collection, decision logging).
+    coordinate_ms: float = 0.1
+    #: Site-selector work to look up and lock partition metadata.
+    route_lookup_ms: float = 0.005
+    #: Site-selector work to score candidate sites for remastering.
+    remaster_decision_ms: float = 0.02
+    #: Site-manager work to release mastership of one partition.
+    release_ms: float = 0.01
+    #: Site-manager work to take mastership of one partition.
+    grant_ms: float = 0.01
+    #: Per-record cost to migrate a record between owners (LEAP data
+    #: shipping): index removal + packing at the source, unpacking +
+    #: index insertion at the destination.
+    marshal_op_ms: float = 0.025
+
+    def execution_ms(self, reads: int, writes: int, scanned: int) -> float:
+        """CPU time for the execution phase of a transaction."""
+        return (
+            reads * self.read_op_ms
+            + writes * self.write_op_ms
+            + scanned * self.scan_op_ms
+        )
+
+    def refresh_ms(self, writes: int) -> float:
+        """CPU time to apply a refresh transaction with ``writes`` records."""
+        return self.refresh_base_ms + writes * self.refresh_op_ms
+
+
+@dataclass
+class SizeModel:
+    """Wire sizes in bytes for the traffic accounting."""
+
+    #: Payload bytes per record shipped or replicated.
+    record_bytes: int = 100
+    #: Bytes per key in a request (write-set announcements etc.).
+    key_bytes: int = 16
+    #: Fixed bytes per RPC request/response.
+    rpc_overhead_bytes: int = 64
+    #: Bytes of a version vector entry.
+    vector_entry_bytes: int = 8
+
+    def update_record_bytes(self, writes: int, sites: int) -> int:
+        """Size of one replicated update record."""
+        return self.rpc_overhead_bytes + writes * self.record_bytes + sites * self.vector_entry_bytes
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to instantiate a simulated cluster."""
+
+    num_sites: int = 4
+    #: Simulated cores per data site (paper: 12; scaled down by default).
+    cores_per_site: int = 4
+    #: Simulated cores for the site-selector machine.
+    selector_cores: int = 8
+    #: Delay between a commit and its update record reaching subscribers
+    #: (the Kafka hop, paper §V-A2). Kept below a client's reply+request
+    #: round trip so replicas are usually session-fresh by the time the
+    #: writing client's next transaction arrives (§VI-B2).
+    log_delivery_ms: float = 0.3
+    #: Maximum record versions retained by MVCC (paper: 4, §V-A1).
+    max_versions: int = 4
+    costs: CostModel = field(default_factory=CostModel)
+    sizes: SizeModel = field(default_factory=SizeModel)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    seed: int = 0
+
+    def scaled(self, **changes) -> "ClusterConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,344 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, SimPy-style engine. Simulated time is a float
+(interpreted throughout this project as milliseconds). Processes are
+Python generators that yield :class:`Event` objects; the environment
+resumes a process when the event it waits on triggers.
+
+The kernel is intentionally small: events, timeouts, processes, and the
+two condition events (:class:`AllOf`, :class:`AnyOf`) are everything the
+database layers above need. Resources and message stores are built on
+top of these primitives in :mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional
+
+#: Sentinel for "this event has not triggered yet".
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*; it becomes *triggered* when
+    :meth:`succeed` or :meth:`fail` is called, and *processed* once the
+    environment has run its callbacks. Processes wait on events by
+    yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables invoked (with this event) when the event is processed.
+        #: ``None`` once the event has been processed.
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (or exception)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the kernel does not re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process on the next kernel step."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process is itself an event: it triggers with the generator's
+    return value when the generator finishes (or with the exception if
+    the generator raises).
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is _PENDING
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator, chaining through already-processed events."""
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed; propagate into the process.
+                    event.defuse()
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self)
+                return
+            except BaseException as exc:
+                self._target = None
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self)
+                return
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {target!r}"
+                )
+                self._generator.throw(exc)
+                return
+            if target.processed:
+                # Already happened: continue synchronously with its value.
+                event = target
+                continue
+            self._target = target
+            target.callbacks.append(self._resume)
+            return
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self):
+        return [event._value for event in self.events if event.triggered]
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once every child event has triggered.
+
+    Its value is the list of child values, in the order the events were
+    given. If any child fails, the condition fails with that exception.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child._value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one child event triggers.
+
+    Its value is the value of the first event to trigger; the triggering
+    event itself is available as :attr:`first`.
+    """
+
+    __slots__ = ("first",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        self.first: Optional[Event] = None
+        super().__init__(env, events)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        self.first = event
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    # -- factory helpers -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event that waits for all of ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event that waits for the first of ``events``."""
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure (e.g. a crashed process nobody waits
+            # on) must surface instead of passing silently.
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_complete(self, process: Process) -> Any:
+        """Run until ``process`` finishes and return its value."""
+        while process._value is _PENDING:
+            if not self._queue:
+                raise SimulationError("deadlock: event queue drained before process finished")
+            self.step()
+        if not process._ok:
+            process.defuse()
+            raise process._value
+        return process._value

@@ -1,0 +1,67 @@
+"""Network cost model.
+
+The paper's testbed is a 10 Gbit/s LAN with Apache Thrift RPC. We model
+a message as a fixed per-message latency (propagation plus RPC
+marshalling) plus a size-dependent serialization term, and account every
+byte against a named traffic category so the bench harness can reproduce
+the paper's traffic breakdown (Appendix D: ~43 MB/s of stored-procedure
+arguments, ~155 MB/s of refresh propagation, ~3 MB/s of remastering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.core import Environment, Timeout
+
+
+@dataclass
+class NetworkConfig:
+    """Knobs for the message cost model (times in ms, sizes in bytes)."""
+
+    #: One-way per-message latency: propagation + RPC framing overhead.
+    one_way_latency_ms: float = 0.25
+    #: Usable bandwidth for the size-dependent term, bytes per ms.
+    #: 1e6 bytes/ms = 1 GB/s, roughly the goodput of a 10 Gbit link.
+    bandwidth_bytes_per_ms: float = 1.0e6
+    #: Uniform jitter amplitude as a fraction of the base latency.
+    jitter: float = 0.0
+
+
+@dataclass
+class TrafficCounters:
+    """Bytes and message counts per traffic category."""
+
+    bytes_by_category: Dict[str, int] = field(default_factory=dict)
+    messages_by_category: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, category: str, size: int) -> None:
+        self.bytes_by_category[category] = self.bytes_by_category.get(category, 0) + size
+        self.messages_by_category[category] = self.messages_by_category.get(category, 0) + 1
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_category.values())
+
+
+class Network:
+    """Creates delay events for messages and accounts traffic."""
+
+    def __init__(self, env: Environment, config: NetworkConfig | None = None, rng=None):
+        self.env = env
+        self.config = config or NetworkConfig()
+        self._rng = rng
+        self.traffic = TrafficCounters()
+
+    def delay_for(self, size: int = 0) -> float:
+        """Return the one-way delay for a message of ``size`` bytes."""
+        cfg = self.config
+        delay = cfg.one_way_latency_ms + size / cfg.bandwidth_bytes_per_ms
+        if cfg.jitter and self._rng is not None:
+            delay *= 1.0 + cfg.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def transfer(self, size: int = 0, category: str = "rpc") -> Timeout:
+        """Event that triggers after the message has traversed the wire."""
+        self.traffic.record(category, size)
+        return self.env.timeout(self.delay_for(size))

@@ -1,0 +1,225 @@
+"""Shared resources for simulated processes.
+
+* :class:`Resource` — a capacity-limited server (e.g. the CPU cores of a
+  data site). Requests queue FIFO when the resource is saturated.
+* :class:`Store` — an unbounded FIFO message queue used for inboxes.
+* :class:`RWLock` — a fair readers-writer lock used by the site selector
+  for partition metadata (paper §V-B).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A server with ``capacity`` identical slots and a FIFO queue.
+
+    Usage from a process::
+
+        request = resource.request()
+        yield request
+        yield env.timeout(service_time)
+        resource.release(request)
+
+    or, more conveniently, ``yield from resource.use(service_time)``.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: Deque[Request] = deque()
+        #: Total busy time accumulated across all slots (for utilization).
+        self.busy_time = 0.0
+        self._last_change = env.now
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self.busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        request = Request(self)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            request.succeed()
+        else:
+            self._queue.append(request)
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a slot previously granted to ``request``."""
+        if request.resource is not self:
+            raise SimulationError("request released to the wrong resource")
+        if not request.triggered:
+            # The request never got a slot; drop it from the queue.
+            self._queue.remove(request)
+            request.defuse()
+            request.succeed()
+            return
+        self._account()
+        self._in_use -= 1
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._in_use += 1
+            nxt.succeed()
+
+    def use(self, duration: float) -> Generator:
+        """Hold one slot for ``duration`` time units (helper generator)."""
+        request = self.request()
+        yield request
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(request)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of total slot-time used since creation."""
+        self._account()
+        window = elapsed if elapsed is not None else self.env.now
+        if window <= 0:
+            return 0.0
+        return self.busy_time / (window * self.capacity)
+
+
+class Store:
+    """An unbounded FIFO queue connecting producer and consumer processes."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the longest-waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that triggers with the next item (FIFO)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class RWLock:
+    """A fair (FIFO) readers-writer lock.
+
+    Multiple readers may hold the lock simultaneously; writers are
+    exclusive. Fairness: a waiting writer blocks later readers, which
+    prevents writer starvation — the site selector relies on this when
+    upgrading partition metadata locks for remastering.
+    """
+
+    _READ = "read"
+    _WRITE = "write"
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._readers = 0
+        self._writer = False
+        self._waiters: Deque[tuple] = deque()
+
+    @property
+    def read_locked(self) -> bool:
+        return self._readers > 0
+
+    @property
+    def write_locked(self) -> bool:
+        return self._writer
+
+    def acquire_read(self) -> Event:
+        """Event that triggers when a shared (read) hold is granted."""
+        event = Event(self.env)
+        if not self._writer and not self._waiters:
+            self._readers += 1
+            event.succeed()
+        else:
+            self._waiters.append((self._READ, event))
+        return event
+
+    def acquire_write(self) -> Event:
+        """Event that triggers when an exclusive (write) hold is granted."""
+        event = Event(self.env)
+        if not self._writer and self._readers == 0 and not self._waiters:
+            self._writer = True
+            event.succeed()
+        else:
+            self._waiters.append((self._WRITE, event))
+        return event
+
+    def release_read(self) -> None:
+        if self._readers <= 0:
+            raise SimulationError("release_read() without a read hold")
+        self._readers -= 1
+        self._dispatch()
+
+    def release_write(self) -> None:
+        if not self._writer:
+            raise SimulationError("release_write() without a write hold")
+        self._writer = False
+        self._dispatch()
+
+    def downgrade(self) -> None:
+        """Atomically convert an exclusive hold into a shared hold.
+
+        Unlike release-then-acquire, no writer can slip in between; the
+        site selector uses this to keep routing permission on
+        partitions it is *not* moving while a remastering runs.
+        """
+        if not self._writer:
+            raise SimulationError("downgrade() without a write hold")
+        self._writer = False
+        self._readers += 1
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._waiters:
+            mode, event = self._waiters[0]
+            if mode == self._WRITE:
+                if self._readers == 0 and not self._writer:
+                    self._waiters.popleft()
+                    self._writer = True
+                    event.succeed()
+                return
+            if self._writer:
+                return
+            self._waiters.popleft()
+            self._readers += 1
+            event.succeed()

@@ -1,0 +1,16 @@
+"""Data sites: site manager + database + replication manager (paper §V-A).
+
+A :class:`~repro.sites.data_site.DataSite` integrates the storage
+engine, version-vector bookkeeping, the durable log, and the refresh
+application pipeline into one component, exactly as the paper does to
+avoid redundant concurrency control. The site exposes generator
+methods (execute/commit, release/grant, 2PC branches, data shipping)
+that run inside the calling process but consume the site's simulated
+CPU, so queueing at a saturated site emerges naturally.
+"""
+
+from repro.sites.activity import PartitionActivity
+from repro.sites.data_site import DataSite, MastershipError
+from repro.sites.messages import remote_call
+
+__all__ = ["DataSite", "MastershipError", "PartitionActivity", "remote_call"]

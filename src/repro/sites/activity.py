@@ -1,0 +1,58 @@
+"""In-flight write tracking per (site, partition).
+
+When a site manager receives a ``release`` request it must wait for
+"any ongoing transactions writing the data to finish before releasing
+mastership" (paper §III-B). The site selector registers a routed
+update transaction against its partitions *before* it drops the
+partition metadata locks, and the data site deregisters it at commit;
+a release therefore observes every transaction that was routed under
+the old mastership and quiesces before handing the partition over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.core import Environment, Event
+
+
+class PartitionActivity:
+    """Counts in-flight update transactions per (site, partition)."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self._waiters: Dict[Tuple[int, int], List[Event]] = {}
+
+    def active(self, site: int, partition: int) -> int:
+        return self._counts.get((site, partition), 0)
+
+    def begin(self, site: int, partitions) -> None:
+        """Register one in-flight writer on each partition at ``site``."""
+        for partition in partitions:
+            key = (site, partition)
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def finish(self, site: int, partitions) -> None:
+        """Deregister the writer; wakes quiesce waiters at zero."""
+        for partition in partitions:
+            key = (site, partition)
+            remaining = self._counts.get(key, 0) - 1
+            if remaining < 0:
+                raise ValueError(f"finish() without begin() for {key}")
+            if remaining:
+                self._counts[key] = remaining
+                continue
+            self._counts.pop(key, None)
+            for event in self._waiters.pop(key, ()):  # wake all
+                event.succeed()
+
+    def quiesced(self, site: int, partition: int) -> Event:
+        """Event that triggers once no writer is in flight on ``partition``."""
+        event = Event(self.env)
+        key = (site, partition)
+        if self._counts.get(key, 0) == 0:
+            event.succeed()
+        else:
+            self._waiters.setdefault(key, []).append(event)
+        return event

@@ -1,0 +1,360 @@
+"""A data site: site manager, database, and replication manager.
+
+All methods that do timed work are generators meant to be driven from a
+simulated process (optionally behind :func:`repro.sites.messages.remote_call`).
+They consume this site's CPU resource, so a site saturated with update
+transactions queues work exactly like the paper's single-master
+bottleneck.
+
+The site implements:
+
+* local update execution and commit (assigning transaction version
+  vectors, appending to the durable log — §III-A, §V-A2);
+* read-only execution at a snapshot (§IV-B);
+* the ``release`` / ``grant`` halves of the remastering protocol
+  (§III-B, Algorithm 1);
+* 2PC participant branches used by the multi-master and
+  partition-store comparators (§VI-A.1);
+* record shipping used by the LEAP comparator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from repro.replication.log import GRANT, RELEASE, UPDATE, DurableLog, LogRecord
+from repro.replication.manager import ReplicationManager
+from repro.sim.config import ClusterConfig
+from repro.sim.core import Environment
+from repro.sim.network import Network
+from repro.sim.resources import Resource
+from repro.sites.activity import PartitionActivity
+from repro.storage.database import Database
+from repro.transactions import Transaction
+from repro.versioning.vectors import VersionVector
+from repro.versioning.watch import VersionWatch
+
+
+class MastershipError(Exception):
+    """An update arrived at a site that does not master its write set."""
+
+
+class DataSite:
+    """One simulated data-site machine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        index: int,
+        num_sites: int,
+        config: ClusterConfig,
+        network: Network,
+        activity: PartitionActivity,
+        replicated: bool = True,
+    ):
+        self.env = env
+        self.index = index
+        self.num_sites = num_sites
+        self.config = config
+        self.network = network
+        self.activity = activity
+        #: Whether this site participates in lazy replication (the
+        #: partition-store and LEAP comparators do not).
+        self.replicated = replicated
+
+        self.svv = VersionVector.zeros(num_sites)
+        self.watch = VersionWatch(env, self.svv)
+        self.cpu = Resource(env, config.cores_per_site)
+        self.database = Database(env, max_versions=config.max_versions)
+        sizes = config.sizes
+        self.log = DurableLog(
+            env,
+            index,
+            delivery_delay_ms=config.log_delivery_ms,
+            network=network if replicated else None,
+            record_size=lambda record: sizes.update_record_bytes(
+                len(record.writes), num_sites
+            ),
+        )
+        self.replication = ReplicationManager(self)
+        #: Partition ids whose master copy lives here.
+        self.mastered: Set[int] = set()
+        self.commits = 0
+        self.read_txns = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def connect(self, sites: Sequence["DataSite"]) -> None:
+        """Subscribe this site's replication manager to every other log."""
+        for other in sites:
+            if other is not self and self.replicated and other.replicated:
+                self.replication.subscribe_to(other.log)
+
+    # -- local transaction execution ---------------------------------------
+
+    def execute_update(
+        self,
+        txn: Transaction,
+        min_begin: Optional[VersionVector] = None,
+        partitions: Iterable[int] = (),
+        verify_mastership: bool = False,
+    ):
+        """Execute and commit an update transaction locally.
+
+        ``min_begin`` is the minimum version the transaction must
+        observe (the element-wise max of grant vectors and the client's
+        session vector). ``partitions`` are the write-set partitions
+        for activity deregistration at commit. With
+        ``verify_mastership`` (the distributed site-selector of
+        Appendix I), the site aborts — returns None — if it no longer
+        masters a write-set partition.
+
+        Returns the transaction version vector (commit timestamp).
+        """
+        partitions = tuple(partitions)
+        costs = self.config.costs
+        env = self.env
+        if verify_mastership and any(p not in self.mastered for p in partitions):
+            self.activity.finish(self.index, partitions)
+            return None
+        started = env.now
+        if min_begin is not None and not self.svv.dominates(min_begin):
+            yield self.watch.wait_for(min_begin)
+        txn.add_timing("freshness_wait", env.now - started)
+
+        lock_started = env.now
+        yield from self.database.locks.acquire_all(txn.write_set)
+        txn.add_timing("lock_wait", env.now - lock_started)
+        try:
+            begin_started = env.now
+            yield from self.cpu.use(costs.txn_begin_ms)
+            begin_vv = self.svv.copy()
+            txn.add_timing("begin", env.now - begin_started)
+
+            execute_started = env.now
+            service = costs.execution_ms(
+                len(txn.read_set), len(txn.write_set), len(txn.scan_set)
+            )
+            yield from self.cpu.use(service + txn.extra_cpu_ms)
+            for key in txn.read_set:
+                self.database.read(key, begin_vv)
+            txn.add_timing("execute", env.now - execute_started)
+
+            commit_started = env.now
+            yield from self.cpu.use(costs.txn_commit_ms)
+            tvv = self._commit(txn, begin_vv)
+            txn.add_timing("commit", env.now - commit_started)
+        finally:
+            self.database.locks.release_all(txn.write_set)
+            if partitions:
+                self.activity.finish(self.index, partitions)
+        return tvv
+
+    def _commit(self, txn: Transaction, begin_vv: VersionVector) -> VersionVector:
+        """Assign the commit timestamp, install versions, append to the log."""
+        seq = self.svv.increment(self.index)
+        tvv = begin_vv  # the begin vector with this site's slot bumped
+        tvv[self.index] = seq
+        writes = tuple((key, txn.txn_id) for key in txn.write_set)
+        self.database.install_many(writes, self.index, seq)
+        self.log.append(LogRecord(UPDATE, self.index, tvv.to_tuple(), writes))
+        self.commits += 1
+        self.watch.notify()
+        return tvv
+
+    def execute_read(
+        self,
+        txn: Transaction,
+        min_begin: Optional[VersionVector] = None,
+        keys: Optional[Tuple] = None,
+        scans: Optional[Tuple] = None,
+    ):
+        """Execute a read-only transaction at this site's snapshot.
+
+        ``keys``/``scans`` restrict the access to a subset (used by the
+        partition-store's scatter-gather reads); by default the whole
+        read and scan sets run here. Returns the begin vector the
+        reads observed, for session maintenance.
+        """
+        costs = self.config.costs
+        env = self.env
+        started = env.now
+        if min_begin is not None and not self.svv.dominates(min_begin):
+            yield self.watch.wait_for(min_begin)
+        txn.add_timing("freshness_wait", env.now - started)
+
+        read_keys = txn.read_set if keys is None else keys
+        scan_keys = txn.scan_set if scans is None else scans
+        execute_started = env.now
+        yield from self.cpu.use(costs.txn_begin_ms)
+        begin_vv = self.svv.copy()
+        service = costs.execution_ms(len(read_keys), 0, len(scan_keys))
+        yield from self.cpu.use(service + txn.extra_cpu_ms)
+        for key in read_keys:
+            self.database.read(key, begin_vv)
+        txn.add_timing("execute", env.now - execute_started)
+        self.read_txns += 1
+        return begin_vv
+
+    # -- remastering (paper §III-B) ------------------------------------------
+
+    def release_mastership(self, partitions: Sequence[int]):
+        """Release the master copies of ``partitions`` (the *release* RPC).
+
+        Waits for in-flight writers on those partitions, bumps this
+        site's version vector (the increment the SI proof relies on),
+        durably logs the release, and returns the site version vector
+        at the release point.
+        """
+        for partition in partitions:
+            if partition not in self.mastered:
+                raise MastershipError(
+                    f"site {self.index} asked to release unmastered partition {partition}"
+                )
+        quiesce = [self.activity.quiesced(self.index, p) for p in partitions]
+        yield self.env.all_of(quiesce)
+        yield from self.cpu.use(self.config.costs.release_ms * len(partitions))
+        self.mastered.difference_update(partitions)
+        seq = self.svv.increment(self.index)
+        # The marker is a no-op: it depends only on this site's own
+        # prior records (FIFO), so its transaction vector carries just
+        # the commit sequence. Any real update to the released items is
+        # earlier in this log and carries its own dependencies.
+        marker_tvv = tuple(
+            seq if index == self.index else 0 for index in range(self.num_sites)
+        )
+        self.log.append(
+            LogRecord(RELEASE, self.index, marker_tvv, partitions=tuple(partitions))
+        )
+        self.watch.notify()
+        return self.svv.copy()
+
+    def grant_mastership(
+        self,
+        partitions: Sequence[int],
+        release_vv: VersionVector,
+        source: Optional[int] = None,
+    ):
+        """Take mastership of ``partitions`` (the *grant* RPC).
+
+        Blocks until this site has applied the releasing site's updates
+        up to the point of the release (paper §III-B) — that is, until
+        ``svv[source]`` reaches the release marker. Updates from other
+        origins that those depended on are forced earlier by the update
+        application rule, so a single-component wait suffices. Records
+        the grant durably and returns this site's version vector at the
+        time of ownership, which becomes part of the transaction's
+        minimum begin version.
+        """
+        if source is not None:
+            release_point = release_vv[source]
+            if self.svv[source] < release_point:
+                yield self.watch.wait_until(
+                    lambda: self.svv[source] >= release_point
+                )
+        elif not self.svv.dominates(release_vv):
+            yield self.watch.wait_for(release_vv)
+        yield from self.cpu.use(self.config.costs.grant_ms * len(partitions))
+        self.mastered.update(partitions)
+        seq = self.svv.increment(self.index)
+        # The grant marker declares a dependency on the release marker
+        # (position ``source`` of its vector), so that log replay—and
+        # refresh application everywhere—orders every remaster chain of
+        # a partition exactly as the site selector serialized it.
+        if source is not None:
+            deps = [0] * self.num_sites
+            deps[source] = release_vv[source]
+        else:
+            deps = list(release_vv)
+        deps[self.index] = seq
+        self.log.append(
+            LogRecord(
+                GRANT,
+                self.index,
+                tuple(deps),
+                partitions=tuple(partitions),
+                target=self.index,
+            )
+        )
+        self.watch.notify()
+        return self.svv.copy()
+
+    # -- 2PC participant branches (multi-master / partition-store) ---------
+
+    def execute_branch(
+        self,
+        txn: Transaction,
+        keys: Tuple,
+        min_begin: Optional[VersionVector] = None,
+    ):
+        """Round 1 of a distributed write: execute this site's branch.
+
+        Acquires write locks on the local portion and executes it. The
+        locks stay held — blocking conflicting transactions — through
+        :meth:`prepare_branch` and until :meth:`commit_branch` or
+        :meth:`abort_branch` arrives with the global decision; this
+        blocking across the prepare/commit rounds is precisely the 2PC
+        cost the paper measures against.
+        """
+        costs = self.config.costs
+        started = self.env.now
+        if min_begin is not None and not self.svv.dominates(min_begin):
+            yield self.watch.wait_for(min_begin)
+        txn.add_timing("freshness_wait", self.env.now - started)
+        lock_started = self.env.now
+        yield from self.database.locks.acquire_all(keys)
+        txn.add_timing("lock_wait", self.env.now - lock_started)
+        yield from self.cpu.use(costs.txn_begin_ms)
+        begin_vv = self.svv.copy()
+        share = len(keys) / max(1, len(txn.write_set))
+        service = costs.execution_ms(0, len(keys), 0) + txn.extra_cpu_ms * share
+        yield from self.cpu.use(service)
+        return begin_vv
+
+    def prepare_branch(self, txn: Transaction, keys: Tuple):
+        """Round 2 of a distributed write: force-log the prepare record
+        and vote yes. Locks remain held."""
+        yield from self.cpu.use(self.config.costs.prepare_ms)
+        return True
+
+    def commit_branch(self, txn: Transaction, keys: Tuple, begin_vv: VersionVector):
+        """Apply the global commit decision for this site's branch."""
+        yield from self.cpu.use(self.config.costs.decide_ms + self.config.costs.txn_commit_ms)
+        seq = self.svv.increment(self.index)
+        tvv = begin_vv.copy()
+        tvv[self.index] = seq
+        writes = tuple((key, txn.txn_id) for key in keys)
+        self.database.install_many(writes, self.index, seq)
+        self.log.append(LogRecord(UPDATE, self.index, tvv.to_tuple(), writes))
+        self.commits += 1
+        self.watch.notify()
+        self.database.locks.release_all(keys)
+        return tvv
+
+    def abort_branch(self, txn: Transaction, keys: Tuple):
+        """Apply a global abort: release locks without installing."""
+        yield from self.cpu.use(self.config.costs.decide_ms)
+        self.database.locks.release_all(keys)
+
+    # -- data shipping (LEAP comparator) -------------------------------------
+
+    def ship_out(self, keys: Tuple):
+        """Marshal and give up ownership of ``keys`` (LEAP localization).
+
+        The caller must already hold the router-level locks that make
+        the migration exclusive. Returns the payload size in bytes.
+        """
+        costs = self.config.costs
+        yield from self.database.locks.acquire_all(keys)
+        yield from self.cpu.use(costs.marshal_op_ms * len(keys))
+        self.database.locks.release_all(keys)
+        return len(keys) * self.config.sizes.record_bytes
+
+    def install_shipment(self, keys: Tuple):
+        """Install shipped records and take ownership (LEAP localization)."""
+        yield from self.cpu.use(self.config.costs.marshal_op_ms * len(keys))
+
+    # -- introspection ---------------------------------------------------------
+
+    def utilization(self) -> float:
+        return self.cpu.utilization()

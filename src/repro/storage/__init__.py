@@ -1,0 +1,15 @@
+"""In-memory multi-version storage engine (paper §V-A1).
+
+A Hekaton-style row store: each record keeps a short chain of versions
+(four by default, as the paper determined empirically), transactions
+read the version matching their begin snapshot so writes never block
+reads, and write-write conflicts are prevented by per-record FIFO locks
+rather than aborts.
+"""
+
+from repro.storage.database import Database
+from repro.storage.locks import LockTable
+from repro.storage.record import Version, VersionedRecord
+from repro.storage.table import Table
+
+__all__ = ["Database", "LockTable", "Table", "Version", "VersionedRecord"]

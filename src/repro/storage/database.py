@@ -1,0 +1,88 @@
+"""The per-site database: tables, snapshot reads, version installation.
+
+The database is deliberately passive — it owns data and locks, while
+the data site (:mod:`repro.sites`) owns timing, version vectors, and
+the commit protocol. This mirrors the paper's integration of the site
+manager, database system and replication manager into one component
+(§V-A) while keeping each concern testable on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.sim.core import Environment
+from repro.storage.locks import LockTable
+from repro.storage.record import Version, VersionedRecord
+from repro.storage.table import Table
+from repro.versioning.vectors import VersionVector
+
+#: A fully-qualified record key: (table name, primary key).
+Key = Tuple[str, Any]
+
+
+class Database:
+    """An in-memory multi-version store for one data site."""
+
+    def __init__(self, env: Environment, max_versions: int = 4):
+        if max_versions < 1:
+            raise ValueError(f"max_versions must be >= 1, got {max_versions}")
+        self.env = env
+        self.max_versions = max_versions
+        self.tables: Dict[str, Table] = {}
+        self.locks = LockTable(env)
+        #: Reads whose snapshot predates every retained version.
+        self.stale_reads = 0
+
+    # -- schema / loading ---------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """Fetch (creating if needed) the table called ``name``."""
+        table = self.tables.get(name)
+        if table is None:
+            table = Table(name)
+            self.tables[name] = table
+        return table
+
+    def load(self, key: Key, value: Any = None) -> VersionedRecord:
+        """Bulk-load a record outside any transaction (initial database)."""
+        table_name, primary_key = key
+        return self.table(table_name).insert(primary_key, value)
+
+    def record(self, key: Key) -> Optional[VersionedRecord]:
+        table_name, primary_key = key
+        table = self.tables.get(table_name)
+        return table.get(primary_key) if table else None
+
+    def ensure(self, key: Key) -> VersionedRecord:
+        """Fetch a record, creating an empty one if absent (inserts)."""
+        table_name, primary_key = key
+        return self.table(table_name).get_or_insert(primary_key)
+
+    # -- transactional access -------------------------------------------------
+
+    def read(self, key: Key, begin: VersionVector) -> Version:
+        """Snapshot read of ``key`` at the ``begin`` vector."""
+        record = self.ensure(key)
+        if not record.has_visible(begin):
+            self.stale_reads += 1
+        return record.read(begin)
+
+    def install(self, key: Key, origin: int, seq: int, value: Any) -> None:
+        """Install one committed version (local commit or refresh)."""
+        self.ensure(key).install(origin, seq, value, self.max_versions)
+
+    def install_many(
+        self, writes: Iterable[Tuple[Key, Any]], origin: int, seq: int
+    ) -> None:
+        """Install a transaction's full write set."""
+        for key, value in writes:
+            self.install(key, origin, seq, value)
+
+    # -- introspection ----------------------------------------------------------
+
+    def row_count(self) -> int:
+        return sum(len(table) for table in self.tables.values())
+
+    def version_count(self) -> int:
+        return sum(table.version_count() for table in self.tables.values())

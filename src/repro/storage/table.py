@@ -1,0 +1,47 @@
+"""Row-oriented in-memory tables indexed by primary key (paper §V-A1)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from repro.storage.record import VersionedRecord
+
+
+class Table:
+    """A named collection of versioned records, indexed by primary key."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._rows: Dict[Any, VersionedRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, primary_key: Any) -> bool:
+        return primary_key in self._rows
+
+    def __iter__(self) -> Iterator[VersionedRecord]:
+        return iter(self._rows.values())
+
+    def insert(self, primary_key: Any, value: Any = None) -> VersionedRecord:
+        """Create a record; raises if the primary key already exists."""
+        if primary_key in self._rows:
+            raise KeyError(f"duplicate primary key {primary_key!r} in table {self.name!r}")
+        record = VersionedRecord((self.name, primary_key), value)
+        self._rows[primary_key] = record
+        return record
+
+    def get(self, primary_key: Any) -> Optional[VersionedRecord]:
+        """The record for ``primary_key``, or None."""
+        return self._rows.get(primary_key)
+
+    def get_or_insert(self, primary_key: Any, value: Any = None) -> VersionedRecord:
+        """Fetch the record, creating it with ``value`` if absent."""
+        record = self._rows.get(primary_key)
+        if record is None:
+            record = self.insert(primary_key, value)
+        return record
+
+    def version_count(self) -> int:
+        """Total retained versions across all rows (memory footprint proxy)."""
+        return sum(record.version_count for record in self._rows.values())

@@ -1,0 +1,32 @@
+"""The five evaluated system architectures (paper §VI-A.1).
+
+Exports are populated as the system modules are imported lazily via
+:func:`build_system`; see :mod:`repro.systems.base` for the shared
+cluster/session machinery.
+"""
+
+from repro.systems.base import Cluster, Session, System
+
+__all__ = ["Cluster", "Session", "System", "build_system"]
+
+
+def build_system(name: str, cluster: Cluster, **kwargs) -> System:
+    """Instantiate an evaluated system by its short name."""
+    from repro.systems.dynamast import DynaMast
+    from repro.systems.leap import LEAP
+    from repro.systems.multi_master import MultiMaster
+    from repro.systems.partition_store import PartitionStore
+    from repro.systems.single_master import SingleMaster
+
+    systems = {
+        "dynamast": DynaMast,
+        "single-master": SingleMaster,
+        "multi-master": MultiMaster,
+        "partition-store": PartitionStore,
+        "leap": LEAP,
+    }
+    try:
+        factory = systems[name]
+    except KeyError:
+        raise ValueError(f"unknown system {name!r}; expected one of {sorted(systems)}")
+    return factory(cluster, **kwargs)

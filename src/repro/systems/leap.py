@@ -1,0 +1,121 @@
+"""The LEAP comparator (Lin et al., SIGMOD 2016; paper §VI-A.1).
+
+LEAP guarantees single-site execution like DynaMast but on a
+partitioned multi-master store *without* replication: before a
+transaction runs, every record in its read and write sets is
+*localized* — physically shipped from its current owner to the
+execution site, which becomes the new owner. There are no replicas to
+absorb reads and no adaptive routing, so hot records ping-pong between
+sites and read-only transactions (scans especially) pay large
+data-transfer costs — the behaviours the paper measures (§VI-B1/B2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.partitioning.schemes import PartitionScheme
+from repro.sites.messages import remote_call
+from repro.storage.locks import LockTable
+from repro.systems.base import Cluster, Session, System
+from repro.transactions import Key, Outcome, Transaction
+
+
+class LEAP(System):
+    """Single-site execution via record shipping, no replicas."""
+
+    name = "leap"
+    replicated = False
+
+    def __init__(self, cluster: Cluster, scheme: PartitionScheme, placement: Dict[int, int]):
+        super().__init__(cluster)
+        self.scheme = scheme
+        self.placement = placement
+        cluster.place_partitions(placement)
+        #: Record-granularity ownership; keys start at their partition's site.
+        self._owners: Dict[Key, int] = {}
+        #: Router-level locks serializing conflicting localizations.
+        self._migration_locks = LockTable(self.env)
+        self.localizations = 0
+        self.records_shipped = 0
+
+    def owner_of(self, key: Key) -> int:
+        """Current owner of ``key`` (static tables read locally anywhere)."""
+        owner = self._owners.get(key)
+        if owner is not None:
+            return owner
+        partition = self.scheme.partition(key)
+        if partition is None:
+            return -1  # static, replicated everywhere
+        return self.placement[partition]
+
+    def submit(self, txn: Transaction, session: Session):
+        yield from self.client_hop(txn)  # client -> router
+        yield from self.router_cpu.use(self.config.costs.route_lookup_ms)
+
+        keys = [key for key in txn.all_keys() if self.scheme.partition(key) is not None]
+        # LEAP has no routing strategies (§VI-B2): a transaction runs at
+        # the site its client is connected to, and every record it
+        # touches is localized there first. This is what makes LEAP
+        # "continually transfer data between sites" when clients at
+        # different sites share data.
+        execution_site = txn.client_id % self.cluster.num_sites
+
+        shipped = False
+        remote_keys = [
+            key for key in keys if self.owner_of(key) != execution_site
+        ]
+        if remote_keys:
+            # Serialize conflicting migrations of the same records.
+            yield from self._migration_locks.acquire_all(remote_keys)
+            try:
+                # Re-resolve under the locks: a concurrent transaction
+                # may have localized some of these keys meanwhile.
+                transfers: Dict[int, List[Key]] = {}
+                for key in remote_keys:
+                    owner = self.owner_of(key)
+                    if owner != execution_site:
+                        transfers.setdefault(owner, []).append(key)
+                if transfers:
+                    shipped = True
+                    self.localizations += 1
+                    processes = [
+                        self.env.process(
+                            self._localize(source, tuple(group), execution_site, txn)
+                        )
+                        for source, group in sorted(transfers.items())
+                    ]
+                    yield self.env.all_of(processes)
+                    for group in transfers.values():
+                        for key in group:
+                            self._owners[key] = execution_site
+                            self.records_shipped += 1
+            finally:
+                self._migration_locks.release_all(remote_keys)
+
+        yield from self.client_hop(txn)  # router -> client
+        site = self.sites[execution_site]
+        if txn.is_read_only:
+            yield from remote_call(
+                self.network, site.execute_read(txn), category="client", txn=txn
+            )
+        else:
+            yield from remote_call(
+                self.network, site.execute_update(txn), category="client", txn=txn
+            )
+        return Outcome(committed=True, remastered=shipped)
+
+    def _localize(self, source: int, group: Tuple[Key, ...], destination: int, txn: Transaction):
+        """Ship ``group`` from ``source`` to ``destination``."""
+        payload = yield from remote_call(
+            self.network,
+            self.sites[source].ship_out(group),
+            category="ship",
+            txn=txn,
+        )
+        # The data transfer to the execution site, then installation.
+        delay = self.network.delay_for(payload)
+        self.network.traffic.record("ship", payload)
+        yield self.env.timeout(delay)
+        txn.add_timing("network", delay)
+        yield from self.sites[destination].install_shipment(group)

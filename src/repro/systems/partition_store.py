@@ -1,0 +1,108 @@
+"""The partition-store comparator (paper §VI-A.1).
+
+A partitioned multi-master database *without* replication: each site
+holds only the partitions it masters (plus static read-only tables,
+which are replicated). Distributed writes use 2PC. Multi-partition
+read-only transactions must scatter-gather across owner sites and are
+subject to the straggler effect — the slowest site's response time
+determines their latency (§VI-B2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.partitioning.schemes import PartitionScheme
+from repro.sites.messages import remote_call
+from repro.systems.base import Cluster, Session, System
+from repro.systems.two_phase_commit import submit_partitioned_write
+from repro.transactions import Key, Outcome, Transaction
+
+
+class PartitionStore(System):
+    """Partitioned, unreplicated, 2PC writes, scatter-gather reads."""
+
+    name = "partition-store"
+    replicated = False
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheme: PartitionScheme,
+        placement: Dict[int, int],
+        unit_of=None,
+    ):
+        super().__init__(cluster)
+        self.scheme = scheme
+        self.placement = placement
+        #: Coordination granule (see Workload.placement_unit_of).
+        self.unit_of = unit_of or scheme.partition
+        cluster.place_partitions(placement)
+        #: Multi-unit read-only transactions executed (straggler stat).
+        self.scatter_gather_reads = 0
+
+    def submit(self, txn: Transaction, session: Session):
+        yield from self.client_hop(txn)  # client -> router
+        yield from self.router_cpu.use(self.config.costs.route_lookup_ms)
+
+        if txn.is_read_only:
+            outcome = yield from self._submit_read(txn)
+            return outcome
+        outcome = yield from submit_partitioned_write(
+            self, txn, session, min_begin=None
+        )
+        return outcome
+
+    def _submit_read(self, txn: Transaction):
+        """Route reads to owning units; fan out if they span units."""
+        # Group point reads and scanned keys by placement unit. Static-
+        # table keys join the first dynamic unit's sub-read.
+        reads: Dict[int, List[Key]] = {}
+        scans: Dict[int, List[Key]] = {}
+        static: List[Key] = []
+        for source, bucket in ((txn.read_set, reads), (txn.scan_set, scans)):
+            for key in source:
+                unit = self.unit_of(key)
+                if unit is None:
+                    static.append(key)
+                else:
+                    bucket.setdefault(unit, []).append(key)
+        units = sorted(set(reads) | set(scans))
+        if units:
+            reads.setdefault(units[0], []).extend(static)
+        elif static:
+            reads[0] = static
+            units = [0]
+
+        yield from self.client_hop(txn)  # router -> client
+        if len(units) <= 1:
+            unit = units[0] if units else 0
+            site_index = self.placement.get(unit, 0)
+            yield from remote_call(
+                self.network,
+                self.sites[site_index].execute_read(txn),
+                category="client",
+                txn=txn,
+            )
+            return Outcome(committed=True)
+
+        # Scatter-gather: one sub-read per unit, wait for the slowest
+        # (the straggler effect of §VI-B2).
+        self.scatter_gather_reads += 1
+        processes = [
+            self.env.process(
+                remote_call(
+                    self.network,
+                    self.sites[self.placement[unit]].execute_read(
+                        txn,
+                        keys=tuple(reads.get(unit, ())),
+                        scans=tuple(scans.get(unit, ())),
+                    ),
+                    category="client",
+                    txn=txn,
+                )
+            )
+            for unit in units
+        ]
+        yield self.env.all_of(processes)
+        return Outcome(committed=True, distributed=True)

@@ -1,0 +1,65 @@
+"""Transaction descriptions shared by workloads, sites, and systems.
+
+A transaction announces its full write set up front — the paper's
+system model assumes write sets are known (via reconnaissance queries
+where necessary, §II-B1) so that the site selector can master the whole
+write set at a single site before execution begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Tuple
+
+#: A fully-qualified record key: (table name, primary key).
+Key = Tuple[str, Any]
+
+_txn_ids = count(1)
+
+
+@dataclass(slots=True)
+class Transaction:
+    """One client request.
+
+    ``write_set`` and ``read_set`` are point accesses; ``scan_set``
+    holds keys touched by range scans (cheaper per record). A
+    transaction is read-only iff its write set is empty.
+    """
+
+    txn_type: str
+    client_id: int
+    write_set: Tuple[Key, ...] = ()
+    read_set: Tuple[Key, ...] = ()
+    scan_set: Tuple[Key, ...] = ()
+    #: Extra execution CPU beyond per-operation costs (stored-procedure logic).
+    extra_cpu_ms: float = 0.0
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+    #: Phase -> accumulated milliseconds, filled in while the txn runs.
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.write_set
+
+    def add_timing(self, phase: str, duration: float) -> None:
+        """Accumulate ``duration`` ms into the breakdown bucket ``phase``."""
+        self.timings[phase] = self.timings.get(phase, 0.0) + duration
+
+    def all_keys(self) -> Tuple[Key, ...]:
+        """Every key the transaction touches (writes, reads, scans)."""
+        return self.write_set + self.read_set + self.scan_set
+
+
+@dataclass(slots=True)
+class Outcome:
+    """Result of submitting a transaction to a system."""
+
+    committed: bool
+    #: True if the site selector had to remaster (DynaMast) or ship data
+    #: (LEAP) before this transaction could execute.
+    remastered: bool = False
+    #: True if the transaction ran as a distributed (multi-site) txn.
+    distributed: bool = False
+    #: Number of times the transaction was aborted and retried.
+    retries: int = 0

@@ -1,0 +1,153 @@
+"""m-dimensional version vectors (paper §III-A).
+
+In a dynamically mastered system with ``m`` sites:
+
+* each site :math:`S_i` maintains a *site version vector* ``svv_i``
+  where ``svv_i[j]`` counts the refresh transactions applied at
+  :math:`S_i` for update transactions originating at :math:`S_j`
+  (``svv_i[i]`` counts local commits);
+* each update transaction ``T`` committing at :math:`S_i` gets a
+  *transaction version vector* ``tvv_T`` — its begin vector with
+  position ``i`` bumped to the commit sequence number;
+* each client session tracks a *client version vector* ``cvv`` used to
+  enforce strong-session snapshot isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+
+class VersionVector:
+    """A mutable vector of non-negative integers with element-wise ops."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, values: Iterable[int]):
+        self.counts: List[int] = list(values)
+        if any(value < 0 for value in self.counts):
+            raise ValueError(f"version vector entries must be >= 0: {self.counts}")
+
+    @classmethod
+    def zeros(cls, size: int) -> "VersionVector":
+        """An all-zero vector of the given dimension."""
+        if size < 1:
+            raise ValueError(f"version vector dimension must be >= 1, got {size}")
+        return cls([0] * size)
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __getitem__(self, index: int) -> int:
+        return self.counts[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"version vector entries must be >= 0: {value}")
+        self.counts[index] = value
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VersionVector):
+            return self.counts == other.counts
+        return NotImplemented
+
+    def __hash__(self):
+        raise TypeError("VersionVector is mutable and unhashable; use to_tuple()")
+
+    def __repr__(self) -> str:
+        return f"VersionVector({self.counts})"
+
+    # -- element-wise operations --------------------------------------------
+
+    def copy(self) -> "VersionVector":
+        """An independent copy of this vector."""
+        return VersionVector(self.counts)
+
+    def to_tuple(self) -> Tuple[int, ...]:
+        """An immutable snapshot of the entries."""
+        return tuple(self.counts)
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """True if ``self[k] >= other[k]`` for every position ``k``."""
+        self._check_dimension(other)
+        return all(mine >= theirs for mine, theirs in zip(self.counts, other.counts))
+
+    def strictly_less(self, other: "VersionVector") -> bool:
+        """Paper footnote ordering: ``self[k] < other[k]`` everywhere."""
+        self._check_dimension(other)
+        return all(mine < theirs for mine, theirs in zip(self.counts, other.counts))
+
+    def element_max(self, other: "VersionVector") -> "VersionVector":
+        """New vector holding the per-position maximum."""
+        self._check_dimension(other)
+        return VersionVector(
+            max(mine, theirs) for mine, theirs in zip(self.counts, other.counts)
+        )
+
+    def merge(self, other: "VersionVector") -> None:
+        """In-place element-wise maximum (advance a session vector)."""
+        self._check_dimension(other)
+        for index, theirs in enumerate(other.counts):
+            if theirs > self.counts[index]:
+                self.counts[index] = theirs
+
+    def increment(self, index: int) -> int:
+        """Bump position ``index``; returns the new value."""
+        self.counts[index] += 1
+        return self.counts[index]
+
+    def lag_behind(self, target: "VersionVector") -> int:
+        """L1 distance below ``target``: how many updates are missing.
+
+        This is the :math:`\\|\\cdot\\|_1` term of the refresh-delay
+        estimate (Equation 5): entries where ``self`` already exceeds
+        the target contribute zero.
+        """
+        self._check_dimension(target)
+        return sum(
+            max(0, wanted - have) for have, wanted in zip(self.counts, target.counts)
+        )
+
+    def total(self) -> int:
+        """Sum of all entries (total updates reflected)."""
+        return sum(self.counts)
+
+    def _check_dimension(self, other: "VersionVector") -> None:
+        if len(other.counts) != len(self.counts):
+            raise ValueError(
+                f"dimension mismatch: {len(self.counts)} vs {len(other.counts)}"
+            )
+
+
+def can_apply_refresh(svv: VersionVector, tvv: VersionVector, origin: int) -> bool:
+    """The update application rule (Equation 1).
+
+    A replica with site version vector ``svv`` may apply the refresh
+    transaction for an update that committed at site ``origin`` with
+    transaction version vector ``tvv`` only when
+
+    * ``svv[k] >= tvv[k]`` for every ``k != origin`` (every transaction
+      the update depends on has been applied locally), and
+    * ``svv[origin] == tvv[origin] - 1`` (refreshes from the origin are
+      applied in exactly their commit order).
+    """
+    if svv[origin] != tvv[origin] - 1:
+        return False
+    return all(
+        svv[k] >= tvv[k] for k in range(len(svv)) if k != origin
+    )
+
+
+def satisfies_session(svv: VersionVector, cvv: VersionVector) -> bool:
+    """Session freshness rule for strong-session SI (paper §III-A).
+
+    A client with session vector ``cvv`` may execute at a site whose
+    version vector ``svv`` dominates ``cvv`` — the site reflects every
+    update the client has previously observed.
+    """
+    return svv.dominates(cvv)

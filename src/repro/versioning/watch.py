@@ -1,0 +1,59 @@
+"""Condition variable over a site version vector.
+
+Data sites block transactions and refresh applications until their
+``svv`` dominates some target vector (a grant's release point, a
+client's session vector, a refresh's dependency vector). The
+:class:`VersionWatch` keeps the pending targets and wakes waiters each
+time the vector advances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.sim.core import Environment, Event
+from repro.versioning.vectors import VersionVector
+
+
+class VersionWatch:
+    """Wakes simulated processes when a version vector reaches a target."""
+
+    def __init__(self, env: Environment, vector: VersionVector):
+        self.env = env
+        self.vector = vector
+        self._waiters: List[Tuple[Callable[[], bool], Event]] = []
+
+    def wait_for(self, target: VersionVector) -> Event:
+        """Event that triggers once the watched vector dominates ``target``."""
+        return self.wait_until(lambda: self.vector.dominates(target))
+
+    def wait_until(self, predicate: Callable[[], bool]) -> Event:
+        """Event that triggers once ``predicate()`` becomes true.
+
+        The predicate is evaluated immediately and then after every
+        :meth:`notify` call; it must depend only on state that changes
+        with such notifications.
+        """
+        event = Event(self.env)
+        if predicate():
+            event.succeed()
+        else:
+            self._waiters.append((predicate, event))
+        return event
+
+    def notify(self) -> None:
+        """Re-evaluate all pending waits after the vector advanced."""
+        if not self._waiters:
+            return
+        still_waiting = []
+        for predicate, event in self._waiters:
+            if predicate():
+                event.succeed()
+            else:
+                still_waiting.append((predicate, event))
+        self._waiters = still_waiting
+
+    @property
+    def pending(self) -> int:
+        """Number of processes currently blocked on this watch."""
+        return len(self._waiters)

@@ -1,0 +1,32 @@
+"""Benchmark workloads (paper §VI-A.2, Appendices C and F).
+
+* :class:`~repro.workloads.ycsb.YCSBWorkload` — the paper's modified
+  YCSB: 100-key partitions, multi-partition scans (200–1000 keys),
+  3-key read-modify-writes with Bernoulli-neighbour partition
+  selection, optional Zipfian skew, client affinity periods, and a
+  shuffled-correlation mode for the adaptivity experiment;
+* :class:`~repro.workloads.tpcc.TPCCWorkload` — New-Order, Payment and
+  Stock-Level with configurable cross-warehouse fractions;
+* :class:`~repro.workloads.smallbank.SmallBankWorkload` — short
+  banking transactions (45% single-row updates, 40% two-row updates,
+  15% balance reads).
+"""
+
+from repro.workloads.base import ClientTurn, Workload
+from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
+from repro.workloads.trace import WorkloadTrace, record_trace
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+__all__ = [
+    "ClientTurn",
+    "SmallBankConfig",
+    "SmallBankWorkload",
+    "WorkloadTrace",
+    "record_trace",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "Workload",
+    "YCSBConfig",
+    "YCSBWorkload",
+]

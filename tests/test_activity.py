@@ -1,0 +1,87 @@
+"""Tests for the in-flight write tracker (release quiescence)."""
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.sites.activity import PartitionActivity
+
+
+class TestPartitionActivity:
+    def test_begin_finish_counts(self):
+        activity = PartitionActivity(Environment())
+        activity.begin(0, [1, 2])
+        activity.begin(0, [1])
+        assert activity.active(0, 1) == 2
+        assert activity.active(0, 2) == 1
+        activity.finish(0, [1, 2])
+        assert activity.active(0, 1) == 1
+        assert activity.active(0, 2) == 0
+
+    def test_finish_without_begin_rejected(self):
+        activity = PartitionActivity(Environment())
+        with pytest.raises(ValueError):
+            activity.finish(0, [7])
+
+    def test_quiesced_immediate_when_idle(self):
+        activity = PartitionActivity(Environment())
+        event = activity.quiesced(0, 3)
+        assert event.triggered
+
+    def test_quiesced_fires_at_zero(self):
+        env = Environment()
+        activity = PartitionActivity(env)
+        activity.begin(1, [5])
+        activity.begin(1, [5])
+        woken = []
+
+        def waiter():
+            yield activity.quiesced(1, 5)
+            woken.append(env.now)
+
+        def finisher():
+            yield env.timeout(1.0)
+            activity.finish(1, [5])
+            yield env.timeout(1.0)
+            activity.finish(1, [5])
+
+        env.process(waiter())
+        env.process(finisher())
+        env.run()
+        assert woken == [2.0]
+
+    def test_per_site_isolation(self):
+        activity = PartitionActivity(Environment())
+        activity.begin(0, [5])
+        # The same partition at another site is idle.
+        assert activity.quiesced(1, 5).triggered
+        assert not activity.quiesced(0, 5).triggered
+
+    def test_multiple_waiters_all_wake(self):
+        env = Environment()
+        activity = PartitionActivity(env)
+        activity.begin(0, [9])
+        woken = []
+
+        def waiter(label):
+            yield activity.quiesced(0, 9)
+            woken.append(label)
+
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+
+        def finisher():
+            yield env.timeout(1.0)
+            activity.finish(0, [9])
+
+        env.process(finisher())
+        env.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_requiesce_after_new_writer(self):
+        env = Environment()
+        activity = PartitionActivity(env)
+        activity.begin(0, [2])
+        activity.finish(0, [2])
+        # Counts reset cleanly; a fresh writer re-registers.
+        activity.begin(0, [2])
+        assert activity.active(0, 2) == 1

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_workload
+from repro.workloads import SmallBankWorkload, TPCCWorkload, YCSBWorkload
+
+
+class TestMakeWorkload:
+    class Args:
+        rmw = 0.7
+        skew = 0.5
+        remote = 0.2
+
+    def test_ycsb(self):
+        workload = make_workload("ycsb", self.Args)
+        assert isinstance(workload, YCSBWorkload)
+        assert workload.config.rmw_fraction == 0.7
+        assert workload.config.zipf_theta == 0.5
+
+    def test_tpcc(self):
+        workload = make_workload("tpcc", self.Args)
+        assert isinstance(workload, TPCCWorkload)
+        assert workload.config.neworder_remote_fraction == 0.2
+
+    def test_smallbank(self):
+        assert isinstance(make_workload("smallbank", self.Args), SmallBankWorkload)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_workload("bogus", self.Args)
+
+
+class TestCommands:
+    def test_bench_command(self, capsys):
+        code = main([
+            "bench", "dynamast", "--clients", "4", "--duration", "150",
+            "--sites", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "dynamast on ycsb" in output
+        assert "remaster/ship fraction" in output
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--systems", "dynamast,partition-store",
+            "--clients", "4", "--duration", "150", "--sites", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "dynamast" in output
+        assert "partition-store" in output
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "fig4a_ycsb_uniform" in output
+
+    def test_bench_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "bogus"])
+
+    def test_tpcc_via_cli(self, capsys):
+        code = main([
+            "bench", "multi-master", "--workload", "tpcc",
+            "--clients", "6", "--duration", "200", "--sites", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "new_order" in output

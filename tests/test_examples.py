@@ -1,0 +1,48 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "protocol_walkthrough.py",
+    "recovery_demo.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_demonstrates_remastering():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "<- remastered" in result.stdout
+    assert "remaster rate" in result.stdout
+
+
+def test_recovery_demo_verifies():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "recovery_demo.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "recovery OK" in result.stdout

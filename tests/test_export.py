@@ -1,0 +1,66 @@
+"""Tests for benchmark result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench.export import run_to_row, rows_from, to_csv, to_json, write_csv, write_json
+from repro.bench.harness import run_benchmark
+from repro.sim.config import ClusterConfig
+from repro.workloads import YCSBConfig, YCSBWorkload
+
+
+@pytest.fixture(scope="module")
+def sample_run():
+    return run_benchmark(
+        "dynamast",
+        YCSBWorkload(YCSBConfig(num_partitions=30, affinity_txns=40)),
+        num_clients=4,
+        duration_ms=200.0,
+        warmup_ms=50.0,
+        cluster_config=ClusterConfig(num_sites=2),
+    )
+
+
+class TestExport:
+    def test_run_to_row(self, sample_run):
+        row = run_to_row(sample_run)
+        assert row["system"] == "dynamast"
+        assert row["workload"] == "ycsb"
+        assert row["throughput"] > 0
+        assert 0 <= row["remaster_rate"] <= 1
+
+    def test_rows_from_mapping(self, sample_run):
+        rows = rows_from({"a": sample_run, "b": sample_run})
+        assert len(rows) == 2
+        assert {row["label"] for row in rows} == {"a", "b"}
+
+    def test_rows_from_nested_mapping(self, sample_run):
+        rows = rows_from({"outer": {"inner": sample_run}})
+        assert len(rows) == 1
+        assert rows[0]["label"] == "inner"
+
+    def test_rows_from_invalid(self):
+        with pytest.raises(TypeError):
+            rows_from(42)
+
+    def test_json_round_trip(self, sample_run):
+        data = json.loads(to_json(sample_run))
+        assert isinstance(data, list)
+        assert data[0]["system"] == "dynamast"
+
+    def test_csv_parses(self, sample_run):
+        text = to_csv({"x": sample_run})
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["label"] == "x"
+        assert float(rows[0]["throughput"]) > 0
+
+    def test_write_files(self, sample_run, tmp_path):
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        write_json(sample_run, str(json_path))
+        write_csv(sample_run, str(csv_path))
+        assert json.loads(json_path.read_text())
+        assert "throughput" in csv_path.read_text()

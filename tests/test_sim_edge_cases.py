@@ -1,0 +1,184 @@
+"""Edge-case tests for the simulation kernel's error handling."""
+
+import pytest
+
+from repro.sim.core import Environment, SimulationError
+
+
+class TestKernelErrors:
+    def test_step_on_empty_queue(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_deadlock_detected_by_run_until_complete(self):
+        env = Environment()
+        gate = env.event()  # never triggered
+
+        def stuck():
+            yield gate
+
+        process = env.process(stuck())
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run_until_complete(process)
+
+    def test_run_until_complete_propagates_failure(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise KeyError("boom")
+
+        process = env.process(failing())
+        with pytest.raises(KeyError):
+            env.run_until_complete(process)
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_event_value_before_trigger(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_condition_mixing_environments_rejected(self):
+        env_a, env_b = Environment(), Environment()
+        event_b = env_b.event()
+        with pytest.raises(SimulationError):
+            env_a.all_of([env_a.event(), event_b])
+
+    def test_repr_shows_state(self):
+        env = Environment()
+        event = env.event()
+        assert "pending" in repr(event)
+        event.succeed()
+        assert "ok" in repr(event)
+
+
+class TestAnyOfFailure:
+    def test_first_failure_propagates(self):
+        env = Environment()
+        bad = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield env.any_of([bad, env.timeout(10.0)])
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter())
+
+        def failer():
+            yield env.timeout(1.0)
+            bad.fail(ValueError("first"))
+
+        env.process(failer())
+        env.run()
+        assert caught == ["first"]
+
+    def test_late_failure_after_trigger_is_defused(self):
+        env = Environment()
+        slow_fail = env.event()
+        results = []
+
+        def waiter():
+            value = yield env.any_of([env.timeout(1.0, "fast"), slow_fail])
+            results.append(value)
+
+        env.process(waiter())
+
+        def failer():
+            yield env.timeout(5.0)
+            slow_fail.fail(RuntimeError("late"))
+
+        env.process(failer())
+        env.run()  # must not raise: the condition defuses the late failure
+        assert results == ["fast"]
+
+
+class TestAllOfFailure:
+    def test_any_child_failure_fails_condition(self):
+        env = Environment()
+        bad = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield env.all_of([env.timeout(1.0), bad])
+            except RuntimeError:
+                caught.append(env.now)
+
+        env.process(waiter())
+
+        def failer():
+            yield env.timeout(2.0)
+            bad.fail(RuntimeError("child"))
+
+        env.process(failer())
+        env.run()
+        assert caught == [2.0]
+
+    def test_values_preserve_event_order(self):
+        env = Environment()
+        results = []
+
+        def waiter():
+            values = yield env.all_of(
+                [env.timeout(3.0, "a"), env.timeout(1.0, "b"), env.timeout(2.0, "c")]
+            )
+            results.append(values)
+
+        env.process(waiter())
+        env.run()
+        assert results == [["a", "b", "c"]]
+
+
+class TestProcessChains:
+    def test_deep_chain_of_completed_events(self):
+        """Resuming through many already-processed events must not
+        recurse (the kernel loops instead)."""
+        env = Environment()
+        done = []
+
+        def quick(value):
+            return value
+            yield  # pragma: no cover
+
+        def chained():
+            total = 0
+            processes = [env.process(quick(i)) for i in range(300)]
+            yield env.timeout(1.0)
+            for process in processes:
+                total += yield process  # all already finished
+            done.append(total)
+
+        env.process(chained())
+        env.run()
+        assert done == [sum(range(300))]
+
+    def test_two_waiters_on_one_process(self):
+        env = Environment()
+        results = []
+
+        def worker():
+            yield env.timeout(2.0)
+            return "payload"
+
+        worker_process = None
+
+        def waiter(label):
+            value = yield worker_process
+            results.append((label, value))
+
+        worker_process = env.process(worker())
+        env.process(waiter("x"))
+        env.process(waiter("y"))
+        env.run()
+        assert sorted(results) == [("x", "payload"), ("y", "payload")]

@@ -1,0 +1,193 @@
+"""Unit tests for the MVCC storage engine."""
+
+import pytest
+
+from repro.sim.core import Environment, SimulationError
+from repro.storage import Database, LockTable, Table, VersionedRecord
+from repro.versioning import VersionVector
+
+
+class TestVersionedRecord:
+    def test_initial_version_visible_to_zero_snapshot(self):
+        record = VersionedRecord(("t", 1), initial_value="init")
+        snapshot = VersionVector.zeros(3)
+        assert record.read(snapshot).value == "init"
+
+    def test_snapshot_read_sees_only_visible_versions(self):
+        record = VersionedRecord(("t", 1), initial_value=0)
+        record.install(origin=0, seq=1, value=10, max_versions=4)
+        record.install(origin=0, seq=2, value=20, max_versions=4)
+        old_snapshot = VersionVector([1, 0])
+        new_snapshot = VersionVector([2, 0])
+        assert record.read(old_snapshot).value == 10
+        assert record.read(new_snapshot).value == 20
+
+    def test_reads_select_newest_visible_across_origins(self):
+        record = VersionedRecord(("t", 1), initial_value=0)
+        record.install(origin=0, seq=1, value="from-s0", max_versions=4)
+        record.install(origin=1, seq=1, value="from-s1", max_versions=4)
+        # Snapshot that saw only site 0's update.
+        assert record.read(VersionVector([1, 0])).value == "from-s0"
+        # Snapshot that saw both; application order makes s1's newest.
+        assert record.read(VersionVector([1, 1])).value == "from-s1"
+
+    def test_version_chain_pruned_to_max(self):
+        record = VersionedRecord(("t", 1), initial_value=0)
+        for seq in range(1, 10):
+            record.install(origin=0, seq=seq, value=seq, max_versions=4)
+        assert record.version_count == 4
+        assert [version.seq for version in record.versions()] == [6, 7, 8, 9]
+
+    def test_pruned_snapshot_falls_back_to_oldest_retained(self):
+        record = VersionedRecord(("t", 1), initial_value=0)
+        for seq in range(1, 10):
+            record.install(origin=0, seq=seq, value=seq, max_versions=4)
+        ancient = VersionVector([1, 0])
+        assert not record.has_visible(ancient)
+        assert record.read(ancient).value == 6
+
+    def test_invalid_commit_sequence_rejected(self):
+        record = VersionedRecord(("t", 1))
+        with pytest.raises(ValueError):
+            record.install(origin=0, seq=0, value=1, max_versions=4)
+
+    def test_latest_ignores_snapshots(self):
+        record = VersionedRecord(("t", 1), initial_value=0)
+        record.install(origin=1, seq=5, value="new", max_versions=4)
+        assert record.latest.value == "new"
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = Table("accounts")
+        table.insert(1, value=100)
+        assert table.get(1).latest.value == 100
+        assert table.get(2) is None
+        assert 1 in table
+        assert len(table) == 1
+
+    def test_duplicate_insert_rejected(self):
+        table = Table("accounts")
+        table.insert(1)
+        with pytest.raises(KeyError):
+            table.insert(1)
+
+    def test_get_or_insert(self):
+        table = Table("accounts")
+        record = table.get_or_insert(7, value="v")
+        assert table.get_or_insert(7) is record
+
+    def test_version_count(self):
+        table = Table("t")
+        table.insert(1)
+        record = table.insert(2)
+        record.install(0, 1, "x", max_versions=4)
+        assert table.version_count() == 3
+
+
+class TestLockTable:
+    def test_uncontended_acquire_is_immediate(self):
+        env = Environment()
+        locks = LockTable(env)
+        event = locks.acquire("k")
+        assert event.triggered
+        assert locks.is_locked("k")
+        locks.release("k")
+        assert not locks.is_locked("k")
+
+    def test_fifo_contention(self):
+        env = Environment()
+        locks = LockTable(env)
+        order = []
+
+        def worker(label):
+            yield locks.acquire("k")
+            order.append(label)
+            yield env.timeout(1.0)
+            locks.release("k")
+
+        for label in "abc":
+            env.process(worker(label))
+        env.run()
+        assert order == ["a", "b", "c"]
+        assert locks.contended_acquires == 2
+        assert locks.total_acquires == 3
+
+    def test_release_unlocked_rejected(self):
+        env = Environment()
+        locks = LockTable(env)
+        with pytest.raises(SimulationError):
+            locks.release("missing")
+
+    def test_acquire_all_sorted_prevents_deadlock(self):
+        env = Environment()
+        locks = LockTable(env)
+        done = []
+
+        def worker(label, keys):
+            yield from locks.acquire_all(keys)
+            yield env.timeout(1.0)
+            locks.release_all(keys)
+            done.append(label)
+
+        # Opposite declaration orders would deadlock without sorting.
+        env.process(worker("x", ["a", "b"]))
+        env.process(worker("y", ["b", "a"]))
+        env.run()
+        assert sorted(done) == ["x", "y"]
+
+    def test_acquire_all_deduplicates(self):
+        env = Environment()
+        locks = LockTable(env)
+
+        def worker():
+            yield from locks.acquire_all(["a", "a"])
+            locks.release_all(["a", "a"])
+
+        process = env.process(worker())
+        env.run_until_complete(process)
+        assert not locks.is_locked("a")
+
+
+class TestDatabase:
+    def make_db(self):
+        return Database(Environment(), max_versions=4)
+
+    def test_load_and_read(self):
+        db = self.make_db()
+        db.load(("accounts", 1), value=500)
+        version = db.read(("accounts", 1), VersionVector.zeros(2))
+        assert version.value == 500
+
+    def test_install_many(self):
+        db = self.make_db()
+        db.install_many([(("t", 1), "a"), (("t", 2), "b")], origin=1, seq=3)
+        snapshot = VersionVector([0, 3])
+        assert db.read(("t", 1), snapshot).value == "a"
+        assert db.read(("t", 2), snapshot).value == "b"
+
+    def test_read_of_missing_key_creates_empty_record(self):
+        db = self.make_db()
+        version = db.read(("t", 99), VersionVector.zeros(1))
+        assert version.value is None
+        assert db.row_count() == 1
+
+    def test_stale_read_counter(self):
+        db = self.make_db()
+        db.load(("t", 1), 0)
+        for seq in range(1, 8):
+            db.install(("t", 1), origin=0, seq=seq, value=seq)
+        db.read(("t", 1), VersionVector([1]))
+        assert db.stale_reads == 1
+
+    def test_invalid_max_versions(self):
+        with pytest.raises(ValueError):
+            Database(Environment(), max_versions=0)
+
+    def test_row_and_version_counts(self):
+        db = self.make_db()
+        db.load(("a", 1))
+        db.load(("b", 2))
+        db.install(("a", 1), origin=0, seq=1, value="x")
+        assert db.row_count() == 2
+        assert db.version_count() == 3
