@@ -1,12 +1,15 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test bench examples quick clean
+.PHONY: install test lint bench examples quick clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	python -m pytest tests/
+
+lint:
+	ruff check src tests
 
 test-output:
 	python -m pytest tests/ 2>&1 | tee test_output.txt

@@ -14,7 +14,7 @@ Every table and figure of the paper's evaluation has a driver in
 from repro.bench.harness import RunResult, run_benchmark
 from repro.bench.repeat import Estimate, RepeatedResult, run_repeated
 from repro.bench.metrics import LatencySummary, Metrics
-from repro.bench.report import format_row, print_table
+from repro.bench.report import format_row, print_run_report, print_table
 
 __all__ = [
     "Estimate",
@@ -24,6 +24,7 @@ __all__ = [
     "RunResult",
     "run_repeated",
     "format_row",
+    "print_run_report",
     "print_table",
     "run_benchmark",
 ]

@@ -28,6 +28,8 @@ FIELDS = (
     "remaster_rate",
     "remastered_fraction",
     "distributed_fraction",
+    "abort_rate",
+    "aborts",
     "max_site_utilization",
 )
 
@@ -49,6 +51,8 @@ def run_to_row(result: RunResult) -> Dict[str, object]:
         "remaster_rate": round(result.remaster_rate, 5),
         "remastered_fraction": round(metrics.remaster_fraction(), 5),
         "distributed_fraction": round(metrics.distributed_txns / commits, 5),
+        "abort_rate": round(metrics.abort_rate(), 5),
+        "aborts": metrics.abort_count,
         "max_site_utilization": round(max(result.site_utilization, default=0.0), 4),
     }
 

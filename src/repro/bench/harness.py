@@ -5,8 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.metrics import Metrics
+from repro.bench.metrics import LatencySummary, Metrics
 from repro.core.strategy import StrategyWeights
+from repro.obs import NULL_OBS, Observability
+from repro.obs.sampler import Timeline
 from repro.sim.config import ClusterConfig
 from repro.systems import Cluster, build_system
 from repro.systems.base import System
@@ -39,10 +41,18 @@ class RunResult:
     traffic_bytes: Dict[str, int]
     #: Per-site CPU utilization over the run.
     site_utilization: List[float]
+    #: Fraction of recorded (post-warmup) transactions that aborted.
+    abort_rate: float = 0.0
+    #: Aborted transactions by type.
+    aborts_by_type: Dict[str, int] = field(default_factory=dict)
+    #: Sampled per-site timelines (populated only for observed runs).
+    timelines: Dict[str, Timeline] = field(default_factory=dict)
+    #: The observability handle of an observed run (None otherwise).
+    obs: Optional[Observability] = field(repr=False, default=None)
     #: The live system object, for deeper inspection in tests/benches.
-    system: System = field(repr=False, default=None)
+    system: Optional[System] = field(repr=False, default=None)
 
-    def latency(self, txn_type: Optional[str] = None):
+    def latency(self, txn_type: Optional[str] = None) -> LatencySummary:
         return self.metrics.latency(txn_type)
 
 
@@ -59,6 +69,8 @@ def run_benchmark(
     seed: int = 0,
     load_data: bool = False,
     events: Sequence[Tuple[float, Callable]] = (),
+    obs: Optional[Observability] = None,
+    streaming_metrics: bool = False,
 ) -> RunResult:
     """Run ``workload`` against one system and measure it.
 
@@ -66,13 +78,26 @@ def run_benchmark(
     workload)`` fires at the given simulated time (used to change the
     workload mid-run in the adaptivity experiment). Latencies are
     recorded only for transactions that *start* after ``warmup_ms``.
+
+    ``obs`` attaches a fresh :class:`~repro.obs.Observability` to the
+    run: every transaction is traced as a span tree, the standard
+    per-site timelines are sampled, and the handle comes back on
+    ``RunResult.obs`` for export. Without it the run uses the no-op
+    tracer and is bit-identical to an unobserved build.
+    ``streaming_metrics`` stores latencies in log-bucketed histograms
+    instead of raw lists (constant memory, approximate percentiles).
     """
     if system_name not in ALL_SYSTEMS:
         raise ValueError(f"unknown system {system_name!r}; expected one of {ALL_SYSTEMS}")
+    observability = obs if obs is not None else NULL_OBS
     config = cluster_config or ClusterConfig()
     if seed:
         config = config.scaled(seed=seed)
-    cluster = Cluster(config, replicated=system_name in REPLICATED_SYSTEMS)
+    cluster = Cluster(
+        config,
+        replicated=system_name in REPLICATED_SYSTEMS,
+        obs=observability,
+    )
     scheme = workload.scheme
 
     kwargs: Dict = {"scheme": scheme}
@@ -93,11 +118,13 @@ def run_benchmark(
             owner_of=scheme.owner_lookup(fixed),
         )
 
-    metrics = Metrics()
+    metrics = Metrics(streaming=streaming_metrics)
+    observability.observe_cluster(cluster)
     rng = cluster.streams.stream("workload")
     for client_id in range(num_clients):
         cluster.env.process(
-            _client_loop(system, workload, client_id, rng, metrics, warmup_ms)
+            _client_loop(system, workload, client_id, rng, metrics, warmup_ms,
+                         observability)
         )
     for when, fn in events:
         cluster.env.process(_fire_event(cluster.env, when, fn, system, workload))
@@ -118,13 +145,18 @@ def run_benchmark(
         route_fractions=selector.route_fractions() if selector else [],
         traffic_bytes=dict(cluster.network.traffic.bytes_by_category),
         site_utilization=[site.utilization() for site in cluster.sites],
+        abort_rate=metrics.abort_rate(),
+        aborts_by_type=dict(metrics.aborts),
+        timelines=dict(observability.timelines) if observability.enabled else {},
+        obs=obs,
         system=system,
     )
 
 
-def _client_loop(system, workload, client_id, rng, metrics, warmup_ms):
+def _client_loop(system, workload, client_id, rng, metrics, warmup_ms, obs):
     """One closed-loop client issuing transactions back to back."""
     env = system.env
+    tracer = obs.tracer
     state = workload.new_client_state(client_id, rng)
     session = system.new_session(client_id)
     while True:
@@ -132,9 +164,16 @@ def _client_loop(system, workload, client_id, rng, metrics, warmup_ms):
         if turn.reset_session:
             session = system.new_session(client_id)
         started = env.now
+        tracer.txn_begin(turn.txn, started)
         outcome = yield from system.submit(turn.txn, session)
-        if started >= warmup_ms:
+        recorded = started >= warmup_ms
+        if recorded:
             metrics.record(turn.txn, outcome, env.now - started, env.now)
+            if obs.enabled and outcome.committed:
+                obs.registry.histogram(
+                    f"latency.{turn.txn.txn_type}"
+                ).record(env.now - started)
+        tracer.txn_end(turn.txn, outcome, env.now, recorded=recorded)
 
 
 def _fire_event(env, when, fn, system, workload):

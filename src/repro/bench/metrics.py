@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.registry import StreamingHistogram
 from repro.transactions import Outcome, Transaction
 
 
@@ -35,6 +36,25 @@ class LatencySummary:
             maximum=ordered[-1],
         )
 
+    @classmethod
+    def of_histogram(cls, histogram: StreamingHistogram) -> "LatencySummary":
+        """Approximate summary from a streaming histogram.
+
+        Count, mean, and maximum are exact; percentiles carry the
+        histogram's bucket error (half a bucket's relative width).
+        """
+        if histogram.count == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=histogram.count,
+            mean=histogram.mean,
+            p50=histogram.quantile(0.50),
+            p90=histogram.quantile(0.90),
+            p95=histogram.quantile(0.95),
+            p99=histogram.quantile(0.99),
+            maximum=histogram.maximum,
+        )
+
 
 def _percentile(ordered: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile of a pre-sorted sample."""
@@ -45,15 +65,27 @@ def _percentile(ordered: Sequence[float], fraction: float) -> float:
 
 
 class Metrics:
-    """Collects per-transaction measurements during a run."""
+    """Collects per-transaction measurements during a run.
 
-    def __init__(self):
-        self.latencies: Dict[str, List[float]] = {}
+    With ``streaming=True``, latency samples stream into log-bucketed
+    histograms instead of per-type Python lists: constant memory for
+    arbitrarily long runs, at the price of small (bucket-width) error
+    in the reported percentiles. The default keeps exact sample lists,
+    so existing results are unchanged.
+    """
+
+    def __init__(self, streaming: bool = False):
+        self.streaming = streaming
+        self.latencies: Dict[str, Union[List[float], StreamingHistogram]] = {}
         self.commit_times: List[float] = []
         self.commits = 0
         self.remastered_txns = 0
         self.distributed_txns = 0
         self.phase_totals: Dict[str, float] = {}
+        #: Aborted (non-committed) transactions by type.
+        self.aborts: Dict[str, int] = {}
+        #: Total retry attempts reported by aborted-and-retried txns.
+        self.retries = 0
 
     def record(
         self,
@@ -62,12 +94,22 @@ class Metrics:
         latency: float,
         now: float,
     ) -> None:
-        """Account one completed transaction."""
+        """Account one completed transaction (committed or aborted)."""
+        self.retries += outcome.retries
         if not outcome.committed:
+            self.aborts[txn.txn_type] = self.aborts.get(txn.txn_type, 0) + 1
             return
         self.commits += 1
         self.commit_times.append(now)
-        self.latencies.setdefault(txn.txn_type, []).append(latency)
+        if self.streaming:
+            histogram = self.latencies.get(txn.txn_type)
+            if histogram is None:
+                histogram = self.latencies[txn.txn_type] = StreamingHistogram(
+                    f"latency.{txn.txn_type}"
+                )
+            histogram.record(latency)
+        else:
+            self.latencies.setdefault(txn.txn_type, []).append(latency)
         if outcome.remastered:
             self.remastered_txns += 1
         if outcome.distributed:
@@ -84,6 +126,22 @@ class Metrics:
 
     def latency(self, txn_type: Optional[str] = None) -> LatencySummary:
         """Latency summary for one transaction type, or all combined."""
+        if self.streaming:
+            if txn_type is not None:
+                histogram = self.latencies.get(txn_type)
+                if histogram is None:
+                    return LatencySummary.of(())
+                return LatencySummary.of_histogram(histogram)
+            merged: Optional[StreamingHistogram] = None
+            for histogram in self.latencies.values():
+                if merged is None:
+                    merged = StreamingHistogram(
+                        "latency", base=histogram.base, growth=histogram.growth
+                    )
+                merged.merge(histogram)
+            if merged is None:
+                return LatencySummary.of(())
+            return LatencySummary.of_histogram(merged)
         if txn_type is not None:
             return LatencySummary.of(self.latencies.get(txn_type, ()))
         combined: List[float] = []
@@ -129,3 +187,21 @@ class Metrics:
         if self.commits == 0:
             return 0.0
         return self.remastered_txns / self.commits
+
+    # -- aborts ---------------------------------------------------------------
+
+    @property
+    def abort_count(self) -> int:
+        """Total aborted transactions recorded."""
+        return sum(self.aborts.values())
+
+    def abort_rate(self) -> float:
+        """Fraction of recorded transactions that aborted."""
+        total = self.commits + self.abort_count
+        if total == 0:
+            return 0.0
+        return self.abort_count / total
+
+    def abort_breakdown(self) -> List[Tuple[str, int]]:
+        """(txn type, abort count) pairs, most aborted first."""
+        return sorted(self.aborts.items(), key=lambda item: (-item[1], item[0]))

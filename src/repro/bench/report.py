@@ -47,3 +47,43 @@ def ratio(numerator: float, denominator: float) -> float:
     if denominator <= 0:
         return float("inf") if numerator > 0 else 0.0
     return numerator / denominator
+
+
+def print_run_report(result) -> None:
+    """Print the standard per-run report for one ``RunResult``.
+
+    Latency table per txn type, protocol activity (including the abort
+    rate and per-type abort counts), and — for observed runs — a
+    summary of every sampled timeline.
+    """
+    metrics = result.metrics
+    rows = []
+    for txn_type in metrics.txn_types():
+        summary = result.latency(txn_type)
+        rows.append([txn_type, summary.count, summary.mean, summary.p90,
+                     summary.p99])
+    print_table(
+        f"{result.system_name} on {result.workload_name}: "
+        f"{result.throughput:,.0f} txn/s",
+        ["txn type", "count", "mean ms", "p90 ms", "p99 ms"],
+        rows,
+    )
+    activity = [
+        ["remaster/ship fraction", f"{metrics.remaster_fraction():.2%}"],
+        ["distributed txns",
+         f"{metrics.distributed_txns / max(1, metrics.commits):.2%}"],
+        ["abort rate", f"{result.abort_rate:.2%}"],
+        ["site utilization", " ".join(f"{u:.2f}" for u in result.site_utilization)],
+    ]
+    for txn_type, count in sorted(result.aborts_by_type.items()):
+        activity.append([f"aborts ({txn_type})", f"{count:,}"])
+    print_table("protocol activity", ["metric", "value"], activity)
+    if result.timelines:
+        print_table(
+            "sampled timelines (mean / max over run)",
+            ["timeline", "samples", "mean", "max"],
+            [
+                [name, len(timeline.samples), timeline.mean(), timeline.maximum()]
+                for name, timeline in sorted(result.timelines.items())
+            ],
+        )

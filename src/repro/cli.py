@@ -6,6 +6,8 @@ Commands:
   metrics report;
 * ``compare`` — run several systems on the same workload and print a
   comparison table;
+* ``trace`` — run one combination with full observability and export
+  Chrome-trace / JSON-lines files for Perfetto;
 * ``experiments`` — list the per-figure experiment drivers.
 """
 
@@ -17,6 +19,7 @@ from typing import List, Optional
 
 from repro.bench import print_table, run_benchmark
 from repro.bench.harness import ALL_SYSTEMS
+from repro.bench.report import print_run_report
 from repro.sim.config import ClusterConfig
 from repro.workloads import (
     SmallBankWorkload,
@@ -61,7 +64,7 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="[tpcc] cross-warehouse New-Order fraction")
 
 
-def run_one(system: str, args):
+def run_one(system: str, args, obs=None):
     workload = make_workload(args.workload, args)
     return run_benchmark(
         system,
@@ -73,29 +76,50 @@ def run_one(system: str, args):
             num_sites=args.sites, cores_per_site=args.cores
         ),
         seed=args.seed,
+        obs=obs,
     )
 
 
 def cmd_bench(args) -> int:
     result = run_one(args.system, args)
-    rows = []
-    for txn_type in result.metrics.txn_types():
-        summary = result.latency(txn_type)
-        rows.append([txn_type, summary.count, summary.mean, summary.p90,
-                     summary.p99])
-    print_table(
-        f"{args.system} on {args.workload}: {result.throughput:,.0f} txn/s",
-        ["txn type", "count", "mean ms", "p90 ms", "p99 ms"],
-        rows,
+    print_run_report(result)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import Observability
+    from repro.obs.export import (
+        flame_summary,
+        reconcile_with_metrics,
+        write_chrome_trace,
+        write_jsonl,
     )
+
+    if args.sample_interval <= 0:
+        print(f"repro trace: error: --sample-interval must be positive, "
+              f"got {args.sample_interval}", file=sys.stderr)
+        return 2
+    obs = Observability(sample_interval_ms=args.sample_interval)
+    result = run_one(args.system, args, obs=obs)
+    print_run_report(result)
+
+    trace_path = f"{args.out}.trace.json"
+    events_path = f"{args.out}.events.jsonl"
+    write_chrome_trace(obs.tracer, trace_path, timelines=result.timelines)
+    write_jsonl(obs.tracer, events_path)
+    print(f"wrote {trace_path} (open in https://ui.perfetto.dev "
+          f"or chrome://tracing)", file=sys.stderr)
+    print(f"wrote {events_path}", file=sys.stderr)
+
+    print()
+    print(flame_summary(obs.tracer, top=args.top))
     print_table(
-        "protocol activity",
-        ["metric", "value"],
+        "trace vs metrics reconciliation",
+        ["phase", "trace ms", "metrics ms", "delta"],
         [
-            ["remaster/ship fraction", f"{result.metrics.remaster_fraction():.2%}"],
-            ["distributed txns",
-             f"{result.metrics.distributed_txns / max(1, result.metrics.commits):.2%}"],
-            ["site utilization", " ".join(f"{u:.2f}" for u in result.site_utilization)],
+            [row["phase"], row["trace_ms"], row["metrics_ms"],
+             f"{row['delta']:.2%}"]
+            for row in reconcile_with_metrics(obs.tracer, result.metrics)
         ],
     )
     return 0
@@ -180,6 +204,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare.add_argument("--json", default="", help="also write results as JSON")
     add_common_arguments(compare)
     compare.set_defaults(fn=cmd_compare)
+
+    trace = commands.add_parser(
+        "trace", help="run one system traced and export Perfetto/Chrome trace"
+    )
+    trace.add_argument("--system", choices=ALL_SYSTEMS, default="dynamast")
+    trace.add_argument("--out", default="repro-run",
+                       help="output prefix (<out>.trace.json, <out>.events.jsonl)")
+    trace.add_argument("--sample-interval", type=float, default=10.0,
+                       help="timeline sampling cadence, simulated ms")
+    trace.add_argument("--top", type=int, default=20,
+                       help="flame summary rows")
+    add_common_arguments(trace)
+    trace.set_defaults(fn=cmd_trace)
 
     experiments = commands.add_parser("experiments", help="list figure drivers")
     experiments.set_defaults(fn=cmd_experiments)

@@ -88,18 +88,24 @@ class SiteSelector:
         chosen site, so a subsequent release will wait for it.
         """
         env = self.env
+        tracer = env.obs.tracer
+        route_started = env.now
         partitions = sorted(self.scheme.partitions_of(txn.write_set))
         lock_started = env.now
         yield from self.cpu.use(self.config.costs.route_lookup_ms)
         for partition in partitions:
             yield self.table.info(partition).lock.acquire_read()
         txn.add_timing("selector_lock", env.now - lock_started)
+        tracer.span("selector_lock", lock_started, env.now,
+                    track="selector", txn=txn)
         self.statistics.observe(env.now, txn.client_id, partitions)
 
         masters = self.table.masters_of(partitions)
         if len(masters) <= 1:
             site = masters.pop() if masters else 0
             self._register(site, partitions, shared=True)
+            tracer.span("route", route_started, env.now,
+                        track="selector", txn=txn, site=site)
             return RouteResult(site, None, tuple(partitions), False)
 
         # Distributed masters: upgrade to exclusive partition locks.
@@ -115,7 +121,11 @@ class SiteSelector:
             # with common write sets, §III-B).
             site = masters.pop()
             txn.add_timing("routing", env.now - decision_started)
+            tracer.span("routing", decision_started, env.now,
+                        track="selector", txn=txn)
             self._register(site, partitions, shared=False)
+            tracer.span("route", route_started, env.now,
+                        track="selector", txn=txn, site=site)
             return RouteResult(site, None, tuple(partitions), False)
 
         yield from self.cpu.use(self.config.costs.remaster_decision_ms)
@@ -138,7 +148,7 @@ class SiteSelector:
             if partition not in moving:
                 self.table.info(partition).lock.downgrade()
         grant_processes = [
-            env.process(self._move(source, group, destination))
+            env.process(self._move(source, group, destination, txn))
             for source, group in moves
         ]
         grant_vvs = yield env.all_of(grant_processes)
@@ -153,7 +163,17 @@ class SiteSelector:
         self.partitions_moved += moved
         self.updates_remastered += 1
         txn.add_timing("routing", env.now - decision_started)
+        tracer.span("routing", decision_started, env.now,
+                    track="selector", txn=txn, remastered=True)
+        if tracer.enabled:
+            tracer.instant(
+                "remaster", env.now, track="selector", txn=txn,
+                destination=destination, partitions_moved=moved,
+                operations=len(moves),
+            )
         self._register(destination, partitions, exclusive=moving)
+        tracer.span("route", route_started, env.now,
+                    track="selector", txn=txn, site=destination)
         return RouteResult(destination, min_vv, tuple(partitions), True, moved)
 
     def _register(
@@ -182,25 +202,39 @@ class SiteSelector:
         self.updates_routed += 1
         self.route_counts[site] += 1
 
-    def _move(self, source: int, partitions: Tuple[int, ...], destination: int):
-        """One release -> grant chain of Algorithm 1 (lines 7-8)."""
+    def _move(self, source: int, partitions: Tuple[int, ...], destination: int,
+              txn: Optional[Transaction] = None):
+        """One release -> grant chain of Algorithm 1 (lines 7-8).
+
+        ``txn`` is the remastering-triggering transaction, used only to
+        attribute the release/grant spans in a trace.
+        """
+        tracer = self.env.obs.tracer
         sites = self.cluster.sites
+        release_started = self.env.now
         release_vv = yield from remote_call(
             self.network,
             sites[source].release_mastership(partitions),
             category="remaster",
         )
+        tracer.span("release", release_started, self.env.now,
+                    track=f"site{source}", txn=txn, partitions=len(partitions))
+        grant_started = self.env.now
         grant_vv = yield from remote_call(
             self.network,
             sites[destination].grant_mastership(partitions, release_vv, source=source),
             category="remaster",
         )
+        tracer.span("grant", grant_started, self.env.now,
+                    track=f"site{destination}", txn=txn,
+                    partitions=len(partitions), source=source)
         return grant_vv
 
     # -- read routing (§IV-B) --------------------------------------------------------
 
     def route_read(self, txn: Transaction, session: Session):
         """Pick a session-fresh site for a read-only transaction."""
+        route_started = self.env.now
         yield from self.cpu.use(self.config.costs.route_lookup_ms)
         fresh = [
             site.index
@@ -215,6 +249,10 @@ class SiteSelector:
                 key=lambda site: site.svv.lag_behind(session.cvv),
             ).index
         self.reads_routed += 1
+        self.env.obs.tracer.span(
+            "route", route_started, self.env.now,
+            track="selector", txn=txn, site=choice,
+        )
         return choice
 
     # -- introspection -------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Simulation-native observability: tracing, metrics, timelines, export.
+
+One :class:`Observability` object bundles the three instruments of an
+observed run:
+
+* :class:`~repro.obs.tracer.Tracer` — per-transaction span trees and
+  instant events over the simulated clock;
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges, and
+  streaming log-bucketed histograms;
+* :class:`~repro.obs.sampler.TimelineSampler` — periodic per-site
+  timelines (CPU, lock depth, replication lag, 2PC in flight).
+
+The default everywhere is :data:`NULL_OBS`, whose tracer is a no-op and
+whose sampler never starts: an unobserved run schedules no extra
+simulation events and produces bit-identical results to a build without
+this package. Protocol code reaches its observability handle through
+the simulation environment (``env.obs``), so no constructor threading
+is needed.
+"""
+
+from repro.obs.export import (
+    flame_summary,
+    reconcile_with_metrics,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import Counter, Gauge, MetricsRegistry, StreamingHistogram
+from repro.obs.sampler import Timeline, TimelineSampler, attach_cluster_probes
+from repro.obs.tracer import (
+    NULL_TRACER,
+    InstantRecord,
+    NullTracer,
+    SpanNode,
+    SpanRecord,
+    Tracer,
+    TxnRecord,
+)
+
+__all__ = [
+    "NULL_OBS",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "InstantRecord",
+    "MetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "SpanNode",
+    "SpanRecord",
+    "StreamingHistogram",
+    "Timeline",
+    "TimelineSampler",
+    "Tracer",
+    "TxnRecord",
+    "attach_cluster_probes",
+    "flame_summary",
+    "reconcile_with_metrics",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+class Observability:
+    """Tracer + metrics registry + timeline sampler for one run."""
+
+    def __init__(self, tracer=None, registry=None,
+                 sample_interval_ms: float = 10.0):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sampler = TimelineSampler(interval_ms=sample_interval_ms)
+
+    @property
+    def enabled(self) -> bool:
+        """True when this run is actually being observed."""
+        return self.tracer.enabled
+
+    @property
+    def timelines(self):
+        return self.sampler.timelines
+
+    def observe_cluster(self, cluster) -> None:
+        """Install the standard probes and start sampling (if enabled)."""
+        if not self.enabled:
+            return
+        attach_cluster_probes(self.sampler, cluster, registry=self.registry)
+        self.sampler.start(cluster.env)
+
+
+#: Shared no-op handle: tracing disabled, sampler never started. Its
+#: registry is real but unused by guarded call sites, so it stays empty.
+NULL_OBS = Observability(tracer=NULL_TRACER)

@@ -1,0 +1,198 @@
+"""Counters, gauges, and streaming log-bucketed histograms.
+
+The registry is the numeric half of the observability layer: protocol
+code bumps counters and gauges; latency samples stream into
+:class:`StreamingHistogram`, which keeps O(buckets) state instead of
+every sample — a long simulated run no longer accumulates unbounded
+Python lists. Buckets grow geometrically, so any quantile estimate is
+within one bucket's relative width of the exact sample quantile.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "StreamingHistogram",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous level (e.g. 2PC transactions in flight)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class StreamingHistogram:
+    """A log-bucketed histogram of non-negative samples.
+
+    Bucket ``i`` covers ``[base * growth**i, base * growth**(i + 1))``;
+    samples below ``base`` land in a dedicated underflow bucket. With
+    the default ``growth`` of 1.05, any quantile estimate is within
+    ~2.5% (half a bucket's relative width) of the exact value, while a
+    million samples cost a few hundred integers of memory.
+    """
+
+    __slots__ = ("name", "base", "growth", "_log_growth", "_buckets",
+                 "_underflow", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str, base: float = 1e-3, growth: float = 1.05):
+        if base <= 0 or growth <= 1.0:
+            raise ValueError("need base > 0 and growth > 1")
+        self.name = name
+        self.base = base
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self._underflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = 0.0
+
+    def record(self, value: float) -> None:
+        """Stream one sample into the histogram."""
+        if value < 0:
+            raise ValueError(f"negative sample {value} in histogram {self.name}")
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value < self.base:
+            self._underflow += 1
+            return
+        index = int(math.log(value / self.base) / self._log_growth)
+        # Guard against float edge cases at bucket boundaries.
+        if value < self.base * self.growth ** index:
+            index -= 1
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (midpoint of the holding bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        # Nearest-rank position, mirroring bench.metrics._percentile.
+        rank = min(self.count - 1, max(0, round(q * (self.count - 1))))
+        seen = self._underflow
+        if rank < seen:
+            return min(self.minimum, self.base)
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                low = self.base * self.growth ** index
+                high = low * self.growth
+                return min(self.maximum, max(self.minimum, (low + high) / 2.0))
+        return self.maximum
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (same geometry)."""
+        if other.base != self.base or other.growth != self.growth:
+            raise ValueError("cannot merge histograms with different buckets")
+        self.count += other.count
+        self.total += other.total
+        self._underflow += other._underflow
+        if other.count:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+
+    def percentiles(self, fractions=(0.50, 0.90, 0.95, 0.99)) -> Dict[float, float]:
+        return {fraction: self.quantile(fraction) for fraction in fractions}
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """(bucket lower bound, count) pairs, for export."""
+        pairs = []
+        if self._underflow:
+            pairs.append((0.0, self._underflow))
+        for index in sorted(self._buckets):
+            pairs.append((self.base * self.growth ** index, self._buckets[index]))
+        return pairs
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, StreamingHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, base: float = 1e-3,
+                  growth: float = 1.05) -> StreamingHistogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = StreamingHistogram(
+                name, base=base, growth=growth
+            )
+        return histogram
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data dump of every instrument (for JSON export)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "mean": h.mean,
+                    "min": 0.0 if h.count == 0 else h.minimum,
+                    "max": h.maximum,
+                    "p50": h.quantile(0.50),
+                    "p99": h.quantile(0.99),
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }

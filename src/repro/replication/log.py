@@ -94,16 +94,37 @@ class DurableLog:
             category = "replication" if record.kind == UPDATE else "remaster"
             # Producer write plus one delivery per subscriber.
             for _ in range(1 + len(self._subscribers)):
-                self.network.traffic.record(category, size)
+                self.network.account(category, size)
+        tracer = self.env.obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "log_append", self.env.now, track=f"site{self.origin}",
+                kind=record.kind, seq=record.seq,
+            )
         for queue in self._subscribers:
             self._deliver(queue, record)
 
     def _deliver(self, queue: Store, record: LogRecord) -> None:
+        tracer = self.env.obs.tracer
         if self.delivery_delay_ms <= 0:
             queue.put(record)
+            if tracer.enabled:
+                tracer.instant(
+                    "log_deliver", self.env.now, track=f"site{self.origin}",
+                    seq=record.seq,
+                )
             return
         timeout = self.env.timeout(self.delivery_delay_ms)
-        timeout.callbacks.append(lambda _event, q=queue, r=record: q.put(r))
+
+        def deliver(_event, q=queue, r=record):
+            q.put(r)
+            if tracer.enabled:
+                tracer.instant(
+                    "log_deliver", self.env.now, track=f"site{self.origin}",
+                    seq=r.seq,
+                )
+
+        timeout.callbacks.append(deliver)
 
     def replay(self) -> Tuple[LogRecord, ...]:
         """All records appended so far, in order (for recovery)."""

@@ -37,13 +37,24 @@ class ReplicationManager:
         #: Total records applied (updates + markers).
         self.applied = 0
         self._drainers: List = []
+        #: Delivery queues, one per subscribed origin (depth probe).
+        self.queues: List = []
 
     def subscribe_to(self, log: DurableLog) -> None:
         """Start draining ``log`` (must belong to a different site)."""
         if log.origin == self.site.index:
             raise ValueError("a site does not subscribe to its own log")
         queue = log.subscribe()
+        self.queues.append(queue)
         self._drainers.append(self.site.env.process(self._drain(queue)))
+
+    def queue_depth(self) -> int:
+        """Records delivered but not yet picked up by the drainers.
+
+        Batches already pulled into a drainer's working set are not
+        counted; the probe tracks backlog at the inbox.
+        """
+        return sum(len(queue) for queue in self.queues)
 
     def _drain(self, queue):
         """One long-lived process applying records from a single origin.
@@ -68,6 +79,8 @@ class ReplicationManager:
             )
             request = site.cpu.request()
             yield request
+            apply_started = site.env.now
+            applied_before = self.applied
             try:
                 while pending:
                     record: LogRecord = pending[0]
@@ -92,3 +105,11 @@ class ReplicationManager:
                         pending.append(queue.get().value)
             finally:
                 site.cpu.release(request)
+                tracer = site.env.obs.tracer
+                if tracer.enabled and self.applied > applied_before:
+                    tracer.span(
+                        "refresh_apply", apply_started, site.env.now,
+                        track=f"site{site.index}",
+                        origin=head_origin,
+                        records=self.applied - applied_before,
+                    )

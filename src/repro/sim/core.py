@@ -17,6 +17,8 @@ import heapq
 from itertools import count
 from typing import Any, Generator, Iterable, Optional
 
+from repro.obs import NULL_OBS
+
 #: Sentinel for "this event has not triggered yet".
 _PENDING = object()
 
@@ -266,10 +268,15 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation environment: virtual clock plus event queue."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, obs=None):
         self._now = float(initial_time)
         self._queue: list = []
         self._eid = count()
+        #: Observability handle shared by every component on this clock
+        #: (:data:`repro.obs.NULL_OBS` unless the run is being observed).
+        #: Components reach their tracer as ``env.obs.tracer``, so no
+        #: constructor threading is needed anywhere above the kernel.
+        self.obs = obs if obs is not None else NULL_OBS
 
     @property
     def now(self) -> float:

@@ -61,7 +61,21 @@ class Network:
             delay *= 1.0 + cfg.jitter * (2.0 * self._rng.random() - 1.0)
         return delay
 
+    def account(self, category: str, size: int) -> None:
+        """Record one message against ``category``.
+
+        Besides the run-total traffic counters, an observed run also
+        streams per-category byte/message counters into the metrics
+        registry so traffic breakdowns (Appendix D) can be read over
+        time, not just at the end.
+        """
+        self.traffic.record(category, size)
+        obs = self.env.obs
+        if obs.enabled:
+            obs.registry.counter(f"net.{category}.bytes").inc(size)
+            obs.registry.counter(f"net.{category}.messages").inc()
+
     def transfer(self, size: int = 0, category: str = "rpc") -> Timeout:
         """Event that triggers after the message has traversed the wire."""
-        self.traffic.record(category, size)
+        self.account(category, size)
         return self.env.timeout(self.delay_for(size))

@@ -101,6 +101,15 @@ class Resource:
         finally:
             self.release(request)
 
+    def busy_time_now(self) -> float:
+        """Busy slot-time accumulated up to the current instant.
+
+        Observability probe hook: sampling this at a fixed cadence and
+        differencing yields windowed utilization timelines.
+        """
+        self._account()
+        return self.busy_time
+
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of total slot-time used since creation."""
         self._account()

@@ -114,22 +114,28 @@ class DataSite:
         partitions = tuple(partitions)
         costs = self.config.costs
         env = self.env
+        tracer = env.obs.tracer
+        track = f"site{self.index}"
         if verify_mastership and any(p not in self.mastered for p in partitions):
             self.activity.finish(self.index, partitions)
+            tracer.instant("mastership_miss", env.now, track=track, txn=txn)
             return None
         started = env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", env.now - started)
+        tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
 
         lock_started = env.now
         yield from self.database.locks.acquire_all(txn.write_set)
         txn.add_timing("lock_wait", env.now - lock_started)
+        tracer.span("lock_wait", lock_started, env.now, track=track, txn=txn)
         try:
             begin_started = env.now
             yield from self.cpu.use(costs.txn_begin_ms)
             begin_vv = self.svv.copy()
             txn.add_timing("begin", env.now - begin_started)
+            tracer.span("begin", begin_started, env.now, track=track, txn=txn)
 
             execute_started = env.now
             service = costs.execution_ms(
@@ -139,11 +145,13 @@ class DataSite:
             for key in txn.read_set:
                 self.database.read(key, begin_vv)
             txn.add_timing("execute", env.now - execute_started)
+            tracer.span("execute", execute_started, env.now, track=track, txn=txn)
 
             commit_started = env.now
             yield from self.cpu.use(costs.txn_commit_ms)
             tvv = self._commit(txn, begin_vv)
             txn.add_timing("commit", env.now - commit_started)
+            tracer.span("commit", commit_started, env.now, track=track, txn=txn)
         finally:
             self.database.locks.release_all(txn.write_set)
             if partitions:
@@ -178,10 +186,13 @@ class DataSite:
         """
         costs = self.config.costs
         env = self.env
+        tracer = env.obs.tracer
+        track = f"site{self.index}"
         started = env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", env.now - started)
+        tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
 
         read_keys = txn.read_set if keys is None else keys
         scan_keys = txn.scan_set if scans is None else scans
@@ -193,6 +204,7 @@ class DataSite:
         for key in read_keys:
             self.database.read(key, begin_vv)
         txn.add_timing("execute", env.now - execute_started)
+        tracer.span("execute", execute_started, env.now, track=track, txn=txn)
         self.read_txns += 1
         return begin_vv
 
@@ -211,10 +223,17 @@ class DataSite:
                 raise MastershipError(
                     f"site {self.index} asked to release unmastered partition {partition}"
                 )
+        quiesce_started = self.env.now
         quiesce = [self.activity.quiesced(self.index, p) for p in partitions]
         yield self.env.all_of(quiesce)
         yield from self.cpu.use(self.config.costs.release_ms * len(partitions))
         self.mastered.difference_update(partitions)
+        tracer = self.env.obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                "release_quiesce", quiesce_started, self.env.now,
+                track=f"site{self.index}", partitions=len(partitions),
+            )
         seq = self.svv.increment(self.index)
         # The marker is a no-op: it depends only on this site's own
         # prior records (FIFO), so its transaction vector carries just
@@ -256,6 +275,12 @@ class DataSite:
             yield self.watch.wait_for(release_vv)
         yield from self.cpu.use(self.config.costs.grant_ms * len(partitions))
         self.mastered.update(partitions)
+        tracer = self.env.obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "mastership_grant", self.env.now, track=f"site{self.index}",
+                partitions=len(partitions), source=source,
+            )
         seq = self.svv.increment(self.index)
         # The grant marker declares a dependency on the release marker
         # (position ``source`` of its vector), so that log replay—and
@@ -297,28 +322,43 @@ class DataSite:
         cost the paper measures against.
         """
         costs = self.config.costs
+        tracer = self.env.obs.tracer
+        track = f"site{self.index}"
         started = self.env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", self.env.now - started)
+        tracer.span("freshness_wait", started, self.env.now, track=track, txn=txn)
         lock_started = self.env.now
         yield from self.database.locks.acquire_all(keys)
         txn.add_timing("lock_wait", self.env.now - lock_started)
+        tracer.span("lock_wait", lock_started, self.env.now, track=track, txn=txn)
+        execute_started = self.env.now
         yield from self.cpu.use(costs.txn_begin_ms)
         begin_vv = self.svv.copy()
         share = len(keys) / max(1, len(txn.write_set))
         service = costs.execution_ms(0, len(keys), 0) + txn.extra_cpu_ms * share
         yield from self.cpu.use(service)
+        # Trace-only: branch execution is deliberately not added to the
+        # metrics breakdown (it overlaps other branches of the same txn).
+        tracer.span("branch_execute", execute_started, self.env.now,
+                    track=track, txn=txn)
         return begin_vv
 
     def prepare_branch(self, txn: Transaction, keys: Tuple):
         """Round 2 of a distributed write: force-log the prepare record
         and vote yes. Locks remain held."""
+        started = self.env.now
         yield from self.cpu.use(self.config.costs.prepare_ms)
+        self.env.obs.tracer.span(
+            "branch_prepare", started, self.env.now,
+            track=f"site{self.index}", txn=txn,
+        )
         return True
 
     def commit_branch(self, txn: Transaction, keys: Tuple, begin_vv: VersionVector):
         """Apply the global commit decision for this site's branch."""
+        branch_started = self.env.now
         yield from self.cpu.use(self.config.costs.decide_ms + self.config.costs.txn_commit_ms)
         seq = self.svv.increment(self.index)
         tvv = begin_vv.copy()
@@ -329,6 +369,10 @@ class DataSite:
         self.commits += 1
         self.watch.notify()
         self.database.locks.release_all(keys)
+        self.env.obs.tracer.span(
+            "branch_commit", branch_started, self.env.now,
+            track=f"site{self.index}", txn=txn,
+        )
         return tvv
 
     def abort_branch(self, txn: Transaction, keys: Tuple):

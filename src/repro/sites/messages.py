@@ -30,13 +30,22 @@ def remote_call(
     If ``txn`` is given, the two wire delays are accumulated into its
     ``network`` timing bucket for the latency breakdown (Figure 7).
     """
+    env = network.env
+    tracer = env.obs.tracer
     request_delay = network.delay_for(request_size)
-    network.traffic.record(category, request_size)
-    yield network.env.timeout(request_delay)
+    network.account(category, request_size)
+    request_started = env.now
+    yield env.timeout(request_delay)
+    if txn is not None:
+        tracer.span("network", request_started, env.now,
+                    track="net", txn=txn, category=category)
     result = yield from handler
     response_delay = network.delay_for(response_size)
-    network.traffic.record(category, response_size)
-    yield network.env.timeout(response_delay)
+    network.account(category, response_size)
+    response_started = env.now
+    yield env.timeout(response_delay)
     if txn is not None:
         txn.add_timing("network", request_delay + response_delay)
+        tracer.span("network", response_started, env.now,
+                    track="net", txn=txn, category=category)
     return result

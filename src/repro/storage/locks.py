@@ -28,6 +28,14 @@ class LockTable:
     def is_locked(self, key: Any) -> bool:
         return key in self._queues
 
+    def held_count(self) -> int:
+        """Number of keys currently locked (lock-table depth probe)."""
+        return len(self._queues)
+
+    def waiting_count(self) -> int:
+        """Total transactions queued behind held locks."""
+        return sum(len(queue) for queue in self._queues.values())
+
     def waiters(self, key: Any) -> int:
         queue = self._queues.get(key)
         return len(queue) if queue else 0

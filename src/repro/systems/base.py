@@ -26,10 +26,13 @@ class Cluster:
     (used by the partition-store and LEAP comparators).
     """
 
-    def __init__(self, config: Optional[ClusterConfig] = None, replicated: bool = True):
+    def __init__(self, config: Optional[ClusterConfig] = None, replicated: bool = True,
+                 obs=None):
         self.config = config or ClusterConfig()
         self.replicated = replicated
-        self.env = Environment()
+        self.env = Environment(obs=obs)
+        #: The observability handle (``NULL_OBS`` unless observed).
+        self.obs = self.env.obs
         self.streams = RandomStreams(self.config.seed)
         self.network = Network(
             self.env, self.config.network, rng=self.streams.stream("network")
@@ -114,6 +117,7 @@ class System(ABC):
             )
         self.cluster = cluster
         self.env = cluster.env
+        self.obs = cluster.obs
         self.network = cluster.network
         self.config = cluster.config
         self.sites = cluster.sites
@@ -134,9 +138,12 @@ class System(ABC):
     def client_hop(self, txn: Transaction, size: int = 128) -> Generator:
         """One client-to-system network traversal, accounted to the txn."""
         delay = self.network.delay_for(size)
-        self.network.traffic.record("client", size)
+        self.network.account("client", size)
+        started = self.env.now
         yield self.env.timeout(delay)
         txn.add_timing("network", delay)
+        self.obs.tracer.span("network", started, self.env.now,
+                             track="net", txn=txn, category="client")
 
     def choose_fresh_site(self, session: Session, rng) -> int:
         """Read routing (paper §IV-B): a random session-fresh site.

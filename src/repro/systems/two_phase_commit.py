@@ -45,10 +45,16 @@ def two_phase_commit(
     vectors (the version a session must observe).
     """
     env = system.env
+    obs = env.obs
+    tracer = obs.tracer
     sites = system.sites
     items = sorted(branches.items(), key=lambda item: (-len(item[1]), item[0]))
     placement = system.placement
     coordinator = placement[items[0][0]]
+    coordinator_track = f"site{coordinator}"
+    if obs.enabled:
+        obs.registry.gauge("2pc_inflight").inc()
+        obs.registry.counter("2pc_started").inc()
 
     # Router -> coordinator dispatch.
     yield from system.client_hop(txn)
@@ -74,6 +80,7 @@ def two_phase_commit(
     # the previous branch's locks: ordered resource acquisition, the
     # classic discipline that makes distributed deadlock impossible
     # when two multi-unit transactions overlap in opposite directions.
+    round_started = env.now
     yield from sites[coordinator].cpu.use(coordinate)
     begin_vvs = []
     for unit, keys in sorted(items):
@@ -87,17 +94,27 @@ def two_phase_commit(
     # the later rounds.
     by_unit = {unit: vv for (unit, _), vv in zip(sorted(items), begin_vvs)}
     begin_vvs = [by_unit[unit] for unit, _ in items]
+    tracer.span("2pc_execute", round_started, env.now,
+                track=coordinator_track, txn=txn, branches=len(items))
 
     # Round 2: prepare — participants force-log and vote. Locks held.
+    round_started = env.now
     yield from sites[coordinator].cpu.use(coordinate)
     yield fan_out(lambda site, keys: site.prepare_branch(txn, keys))
+    tracer.span("2pc_prepare", round_started, env.now,
+                track=coordinator_track, txn=txn, branches=len(items))
 
-    # Round 3: all voted yes -> commit decision fan-out.
+    # Round 3: all voted yes -> commit decision fan-out. The window
+    # between the prepare votes and this decision reaching a branch is
+    # the 2PC uncertainty window the paper's Figure 1b illustrates.
+    round_started = env.now
     yield from sites[coordinator].cpu.use(coordinate)
     commit_vvs = yield fan_out(
         lambda site, keys, begin_vv: site.commit_branch(txn, keys, begin_vv),
         payload=begin_vvs,
     )
+    tracer.span("2pc_decide", round_started, env.now,
+                track=coordinator_track, txn=txn, branches=len(items))
 
     merged = VersionVector.zeros(len(sites[0].svv))
     for commit_vv in commit_vvs:
@@ -105,6 +122,8 @@ def two_phase_commit(
 
     # Coordinator -> client reply.
     yield from system.client_hop(txn)
+    if obs.enabled:
+        obs.registry.gauge("2pc_inflight").dec()
     return merged
 
 

@@ -1,0 +1,118 @@
+"""Static guard for the determinism contract (DESIGN.md section 5).
+
+Simulation results must be a pure function of the seed: no wall-clock
+reads, no process-global random state. This test walks every module
+under ``src/repro`` with the AST and rejects the constructs that break
+replayability:
+
+* importing ``time`` (wall clock) — the simulated clock is ``env.now``;
+* calling ``datetime.now`` / ``datetime.today`` / ``datetime.utcnow``;
+* calling module-level ``random.*`` functions, which share one global
+  generator across the process. Seeded ``random.Random(seed)``
+  instances are fine (that is how workload generators get isolated,
+  named streams), as is ``repro.sim.rand``, the one module allowed to
+  wrap ``random`` for everyone else.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The blessed wrapper around the stdlib generator.
+EXEMPT = {"sim/rand.py"}
+
+#: random-module attributes that are safe because they construct an
+#: explicitly seeded, private generator rather than using global state.
+RANDOM_CONSTRUCTORS = {"Random", "SystemRandom"}
+
+FORBIDDEN_DATETIME_CALLS = {"now", "today", "utcnow"}
+
+
+def repro_sources():
+    paths = sorted(SRC.rglob("*.py"))
+    assert paths, f"no sources under {SRC}"
+    return [
+        path for path in paths
+        if str(path.relative_to(SRC)) not in EXEMPT
+    ]
+
+
+def violations_in(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "time":
+                    found.append((node.lineno, "import time"))
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root == "time":
+                found.append((node.lineno, "from time import ..."))
+            if root == "random":
+                # `from random import Random` is fine; pulling the
+                # module-level functions is not.
+                for alias in node.names:
+                    if alias.name not in RANDOM_CONSTRUCTORS:
+                        found.append(
+                            (node.lineno, f"from random import {alias.name}")
+                        )
+        elif isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "random"
+                    and node.attr not in RANDOM_CONSTRUCTORS):
+                found.append((node.lineno, f"random.{node.attr}"))
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id in ("datetime", "date")
+                    and node.attr in FORBIDDEN_DATETIME_CALLS):
+                found.append((node.lineno, f"{node.value.id}.{node.attr}"))
+    return found
+
+
+class TestDeterminismGuard:
+    def test_no_wall_clock_or_global_random(self):
+        problems = []
+        for path in repro_sources():
+            for lineno, what in violations_in(path):
+                problems.append(f"{path.relative_to(SRC)}:{lineno}: {what}")
+        assert not problems, (
+            "nondeterministic constructs in src/repro (see DESIGN.md "
+            "section 5):\n  " + "\n  ".join(problems)
+        )
+
+    def test_guard_catches_violations(self, tmp_path):
+        """The scanner itself detects each forbidden construct."""
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n"
+            "import random\n"
+            "from random import shuffle\n"
+            "import datetime\n"
+            "def f():\n"
+            "    random.seed(0)\n"
+            "    x = random.random()\n"
+            "    t = datetime.now()\n"
+        )
+        found = {what for _, what in violations_in(bad)}
+        assert found == {
+            "import time",
+            "from random import shuffle",
+            "random.seed",
+            "random.random",
+            "datetime.now",
+        }
+
+    def test_guard_allows_seeded_generators(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text(
+            "from random import Random\n"
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "value = rng.random()\n"
+        )
+        assert violations_in(good) == []
+
+    def test_exempt_wrapper_exists(self):
+        assert (SRC / "sim" / "rand.py").exists()

@@ -1,0 +1,146 @@
+"""Tests for counters, gauges, and streaming histograms."""
+
+import random
+
+import pytest
+
+from repro.obs import Counter, Gauge, MetricsRegistry, StreamingHistogram
+from repro.bench.metrics import LatencySummary, _percentile
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        counter = Counter("commits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_levels(self):
+        gauge = Gauge("inflight")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1.0
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestStreamingHistogram:
+    def test_rejects_bad_geometry_and_samples(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram("h", base=0.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram("h", growth=1.0)
+        histogram = StreamingHistogram("h")
+        with pytest.raises(ValueError):
+            histogram.record(-1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_empty(self):
+        histogram = StreamingHistogram("h")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.bucket_counts() == []
+
+    def test_exact_moments(self):
+        histogram = StreamingHistogram("h")
+        for value in (1.0, 2.0, 3.0, 10.0):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.total == 16.0
+        assert histogram.mean == 4.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 10.0
+
+    def test_underflow_bucket(self):
+        histogram = StreamingHistogram("h", base=1.0)
+        histogram.record(0.0)
+        histogram.record(0.5)
+        histogram.record(2.0)
+        assert histogram.count == 3
+        # The two sub-base samples land in the underflow bucket, whose
+        # representative is min(minimum, base).
+        assert histogram.quantile(0.0) == 0.0
+        pairs = histogram.bucket_counts()
+        assert pairs[0] == (0.0, 2)
+
+    def test_quantiles_within_bucket_error(self):
+        """Any quantile is within one bucket's relative width of exact."""
+        growth = 1.05
+        histogram = StreamingHistogram("h", growth=growth)
+        rng = random.Random(42)
+        samples = [rng.expovariate(1 / 5.0) + 0.01 for _ in range(5000)]
+        for value in samples:
+            histogram.record(value)
+        ordered = sorted(samples)
+        for q in (0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0):
+            exact = _percentile(ordered, q)
+            approx = histogram.quantile(q)
+            assert approx == pytest.approx(exact, rel=growth - 1.0)
+
+    def test_quantile_clamped_to_observed_range(self):
+        histogram = StreamingHistogram("h")
+        histogram.record(3.0)
+        assert histogram.quantile(0.0) == 3.0
+        assert histogram.quantile(1.0) == 3.0
+
+    def test_boundary_values_bucket_once(self):
+        histogram = StreamingHistogram("h", base=1.0, growth=2.0)
+        # Exact bucket boundaries: 1, 2, 4 -> indices 0, 1, 2.
+        for value in (1.0, 2.0, 4.0):
+            histogram.record(value)
+        assert sum(count for _, count in histogram.bucket_counts()) == 3
+        lows = [low for low, _ in histogram.bucket_counts()]
+        assert lows == [1.0, 2.0, 4.0]
+
+    def test_merge(self):
+        left = StreamingHistogram("l")
+        right = StreamingHistogram("r")
+        for value in (1.0, 2.0):
+            left.record(value)
+        for value in (3.0, 4.0):
+            right.record(value)
+        left.merge(right)
+        assert left.count == 4
+        assert left.total == 10.0
+        assert left.minimum == 1.0
+        assert left.maximum == 4.0
+        with pytest.raises(ValueError):
+            left.merge(StreamingHistogram("x", growth=2.0))
+
+    def test_latency_summary_of_histogram(self):
+        histogram = StreamingHistogram("h")
+        values = [float(v) for v in range(1, 101)]
+        for value in values:
+            histogram.record(value)
+        summary = LatencySummary.of_histogram(histogram)
+        exact = LatencySummary.of(values)
+        assert summary.count == exact.count
+        assert summary.mean == pytest.approx(exact.mean)
+        assert summary.maximum == exact.maximum
+        assert summary.p50 == pytest.approx(exact.p50, rel=0.05)
+        assert summary.p99 == pytest.approx(exact.p99, rel=0.05)
+        assert LatencySummary.of_histogram(StreamingHistogram("e")).count == 0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").record(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["max"] == 2.0

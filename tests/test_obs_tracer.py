@@ -1,0 +1,162 @@
+"""Tests for the span tracer: recording, nesting, aggregation."""
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+from repro.transactions import Outcome, Transaction
+
+
+def make_txn(kind="rmw"):
+    return Transaction(kind, client_id=0, write_set=(("t", 1),))
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        txn = make_txn()
+        tracer.txn_begin(txn, 0.0)
+        tracer.span("execute", 0.0, 1.0, track="site0", txn=txn)
+        tracer.instant("abort", 1.0, txn=txn)
+        tracer.txn_end(txn, Outcome(committed=True), 1.0)
+        assert not hasattr(tracer, "spans")
+
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+
+    def test_real_tracer_substitutes(self):
+        assert issubclass(Tracer, NullTracer)
+        assert Tracer().enabled
+
+
+class TestTxnRecords:
+    def test_begin_end_roundtrip(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.txn_begin(txn, 10.0)
+        tracer.txn_end(txn, Outcome(committed=True, remastered=True), 14.0)
+        record = tracer.txns[txn.txn_id]
+        assert record.begin == 10.0
+        assert record.end == 14.0
+        assert record.latency == 4.0
+        assert record.committed is True
+        assert record.remastered is True
+        assert record.recorded is True
+
+    def test_warmup_txn_not_recorded(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.txn_begin(txn, 0.0)
+        tracer.txn_end(txn, Outcome(committed=True), 1.0, recorded=False)
+        assert tracer.txns[txn.txn_id].recorded is False
+
+    def test_abort_emits_instant_and_counts(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.txn_begin(txn, 0.0)
+        tracer.txn_end(txn, Outcome(committed=False), 2.0)
+        assert tracer.abort_count() == 1
+        assert tracer.txns[txn.txn_id].recorded is False
+        names = [instant.name for instant in tracer.instants]
+        assert "abort" in names
+
+    def test_end_without_begin_synthesizes_envelope(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.txn_end(txn, Outcome(committed=True), 5.0)
+        record = tracer.txns[txn.txn_id]
+        assert record.begin == record.end == 5.0
+        assert record.latency == 0.0
+
+
+class TestSpanTree:
+    def test_spans_sorted_by_start_then_length(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.span("inner", 1.0, 2.0, txn=txn)
+        tracer.span("outer", 1.0, 5.0, txn=txn)
+        tracer.span("early", 0.0, 0.5, txn=txn)
+        names = [span.name for span in tracer.spans_of(txn.txn_id)]
+        assert names == ["early", "outer", "inner"]
+
+    def test_containment_nesting(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.span("route", 0.0, 10.0, txn=txn)
+        tracer.span("release", 1.0, 4.0, txn=txn)
+        tracer.span("grant", 4.0, 8.0, txn=txn)
+        tracer.span("lock_wait", 1.5, 2.0, txn=txn)
+        roots = tracer.span_tree(txn.txn_id)
+        assert [node.name for node in roots] == ["route"]
+        children = [child.name for child in roots[0].children]
+        assert children == ["release", "grant"]
+        release = roots[0].children[0]
+        assert [child.name for child in release.children] == ["lock_wait"]
+
+    def test_siblings_stay_siblings(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.span("a", 0.0, 2.0, txn=txn)
+        tracer.span("b", 2.0, 4.0, txn=txn)
+        tracer.span("c", 4.0, 6.0, txn=txn)
+        roots = tracer.span_tree(txn.txn_id)
+        assert [node.name for node in roots] == ["a", "b", "c"]
+        assert all(not node.children for node in roots)
+
+    def test_zero_width_child_at_boundary(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.span("outer", 0.0, 3.0, txn=txn)
+        tracer.span("edge", 3.0, 3.0, txn=txn)
+        roots = tracer.span_tree(txn.txn_id)
+        assert [node.name for node in roots] == ["outer"]
+        assert [child.name for child in roots[0].children] == ["edge"]
+
+    def test_self_time_and_walk(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.span("outer", 0.0, 10.0, txn=txn)
+        tracer.span("inner", 2.0, 5.0, txn=txn)
+        root = tracer.span_tree(txn.txn_id)[0]
+        assert root.self_time == 7.0
+        paths = [path for path, _ in root.walk("rmw")]
+        assert paths == ["rmw/outer", "rmw/outer/inner"]
+
+    def test_tree_ignores_other_txns(self):
+        tracer = Tracer()
+        a, b = make_txn(), make_txn()
+        tracer.span("mine", 0.0, 1.0, txn=a)
+        tracer.span("theirs", 0.0, 1.0, txn=b)
+        assert [n.name for n in tracer.span_tree(a.txn_id)] == ["mine"]
+
+
+class TestAggregation:
+    def test_phase_totals_recorded_only(self):
+        tracer = Tracer()
+        kept, dropped = make_txn(), make_txn()
+        for txn, recorded in ((kept, True), (dropped, False)):
+            tracer.txn_begin(txn, 0.0)
+            tracer.span("execute", 0.0, 2.0, txn=txn)
+            tracer.txn_end(txn, Outcome(committed=True), 2.0, recorded=recorded)
+        tracer.span("refresh_apply", 0.0, 9.0, track="site1")  # no txn
+        totals = tracer.phase_totals(recorded_only=True)
+        assert totals == {"execute": 2.0}
+        everything = tracer.phase_totals(recorded_only=False)
+        assert everything["execute"] == 4.0
+        assert everything["refresh_apply"] == 9.0
+
+    def test_recorded_latency_total(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.txn_begin(txn, 1.0)
+        tracer.txn_end(txn, Outcome(committed=True), 4.0)
+        other = make_txn()
+        tracer.txn_begin(other, 0.0)
+        tracer.txn_end(other, Outcome(committed=False), 9.0)
+        assert tracer.recorded_latency_total() == 3.0
+
+    def test_span_args_preserved(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.span("route", 0.0, 1.0, txn=txn, site=2, reason="affinity")
+        span = tracer.spans[0]
+        assert dict(span.args) == {"site": 2, "reason": "affinity"}
