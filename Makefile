@@ -1,6 +1,6 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test lint bench examples quick clean
+.PHONY: install test lint bench examples quick chaos clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,15 @@ examples:
 
 quick:
 	python -m repro compare --clients 16 --duration 500
+
+# One short fault scenario per system: exercises crash/restart rejoin,
+# partition routing, and lossy-link retries end to end.
+chaos:
+	python -m repro chaos --system dynamast --scenario crash-restart --duration 3000 --clients 8
+	python -m repro chaos --system single-master --scenario crash --duration 2000 --clients 8
+	python -m repro chaos --system multi-master --scenario partition --duration 2000 --clients 8
+	python -m repro chaos --system partition-store --scenario lossy --duration 2000 --clients 8
+	python -m repro chaos --system leap --scenario crash-restart --duration 2000 --clients 8
 
 clean:
 	rm -rf .pytest_cache build *.egg-info src/*.egg-info

@@ -30,6 +30,9 @@ FIELDS = (
     "distributed_fraction",
     "abort_rate",
     "aborts",
+    "aborts_conflict",
+    "aborts_timeout",
+    "aborts_site_crash",
     "max_site_utilization",
 )
 
@@ -53,6 +56,9 @@ def run_to_row(result: RunResult) -> Dict[str, object]:
         "distributed_fraction": round(metrics.distributed_txns / commits, 5),
         "abort_rate": round(metrics.abort_rate(), 5),
         "aborts": metrics.abort_count,
+        "aborts_conflict": metrics.aborts_by_reason.get("conflict", 0),
+        "aborts_timeout": metrics.aborts_by_reason.get("timeout", 0),
+        "aborts_site_crash": metrics.aborts_by_reason.get("site_crash", 0),
         "max_site_utilization": round(max(result.site_utilization, default=0.0), 4),
     }
 

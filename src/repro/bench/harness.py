@@ -45,6 +45,12 @@ class RunResult:
     abort_rate: float = 0.0
     #: Aborted transactions by type.
     aborts_by_type: Dict[str, int] = field(default_factory=dict)
+    #: Aborted transactions by reason (conflict / timeout / site_crash).
+    aborts_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Fault transitions observed during the run (fault-injected runs).
+    fault_events: List = field(default_factory=list)
+    #: The installed fault injector (None for unfaulted runs).
+    injector: Optional[object] = field(repr=False, default=None)
     #: Sampled per-site timelines (populated only for observed runs).
     timelines: Dict[str, Timeline] = field(default_factory=dict)
     #: The observability handle of an observed run (None otherwise).
@@ -71,6 +77,7 @@ def run_benchmark(
     events: Sequence[Tuple[float, Callable]] = (),
     obs: Optional[Observability] = None,
     streaming_metrics: bool = False,
+    fault_plan=None,
 ) -> RunResult:
     """Run ``workload`` against one system and measure it.
 
@@ -86,6 +93,10 @@ def run_benchmark(
     tracer and is bit-identical to an unobserved build.
     ``streaming_metrics`` stores latencies in log-bucketed histograms
     instead of raw lists (constant memory, approximate percentiles).
+    ``fault_plan`` installs a :class:`~repro.faults.FaultInjector`
+    interpreting the given :class:`~repro.faults.FaultPlan` before the
+    workload starts; without one the run is bit-identical to a build
+    without the faults subsystem.
     """
     if system_name not in ALL_SYSTEMS:
         raise ValueError(f"unknown system {system_name!r}; expected one of {ALL_SYSTEMS}")
@@ -118,6 +129,13 @@ def run_benchmark(
             owner_of=scheme.owner_lookup(fixed),
         )
 
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(cluster, fault_plan, cluster.streams.faults())
+        injector.install()
+
     metrics = Metrics(streaming=streaming_metrics)
     observability.observe_cluster(cluster)
     rng = cluster.streams.stream("workload")
@@ -147,6 +165,9 @@ def run_benchmark(
         site_utilization=[site.utilization() for site in cluster.sites],
         abort_rate=metrics.abort_rate(),
         aborts_by_type=dict(metrics.aborts),
+        aborts_by_reason=dict(metrics.aborts_by_reason),
+        fault_events=list(injector.events) if injector is not None else [],
+        injector=injector,
         timelines=dict(observability.timelines) if observability.enabled else {},
         obs=obs,
         system=system,

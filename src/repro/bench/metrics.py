@@ -78,12 +78,18 @@ class Metrics:
         self.streaming = streaming
         self.latencies: Dict[str, Union[List[float], StreamingHistogram]] = {}
         self.commit_times: List[float] = []
+        #: Completion times of aborted txns (for availability timelines).
+        self.abort_times: List[float] = []
         self.commits = 0
         self.remastered_txns = 0
         self.distributed_txns = 0
         self.phase_totals: Dict[str, float] = {}
         #: Aborted (non-committed) transactions by type.
         self.aborts: Dict[str, int] = {}
+        #: Aborted transactions by reason ("conflict" / "timeout" /
+        #: "site_crash"); outcomes without an explicit reason are the
+        #: legacy optimistic-routing conflicts.
+        self.aborts_by_reason: Dict[str, int] = {}
         #: Total retry attempts reported by aborted-and-retried txns.
         self.retries = 0
 
@@ -98,6 +104,9 @@ class Metrics:
         self.retries += outcome.retries
         if not outcome.committed:
             self.aborts[txn.txn_type] = self.aborts.get(txn.txn_type, 0) + 1
+            reason = outcome.abort_reason or "conflict"
+            self.aborts_by_reason[reason] = self.aborts_by_reason.get(reason, 0) + 1
+            self.abort_times.append(now)
             return
         self.commits += 1
         self.commit_times.append(now)

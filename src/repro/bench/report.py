@@ -77,6 +77,8 @@ def print_run_report(result) -> None:
     ]
     for txn_type, count in sorted(result.aborts_by_type.items()):
         activity.append([f"aborts ({txn_type})", f"{count:,}"])
+    for reason, count in sorted(result.aborts_by_reason.items()):
+        activity.append([f"aborts [{reason}]", f"{count:,}"])
     print_table("protocol activity", ["metric", "value"], activity)
     if result.timelines:
         print_table(

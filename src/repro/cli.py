@@ -8,6 +8,8 @@ Commands:
   comparison table;
 * ``trace`` — run one combination with full observability and export
   Chrome-trace / JSON-lines files for Perfetto;
+* ``chaos`` — run a named fault scenario against one system and print
+  the availability timeline (optionally exporting it as CSV);
 * ``experiments`` — list the per-figure experiment drivers.
 """
 
@@ -159,6 +161,45 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(
+        args.system,
+        args.scenario,
+        num_sites=args.sites,
+        num_clients=args.clients,
+        duration_ms=args.duration,
+        bucket_ms=args.bucket,
+        seed=args.seed,
+    )
+    print_table(
+        f"chaos: {args.system} under {args.scenario} "
+        f"({args.sites} sites, {args.duration:g} ms)",
+        ["bucket ms", "commit/s", "abort/s", "sites up"],
+        [
+            [f"{bucket.start_ms:g}", bucket.commits_per_s,
+             bucket.aborts_per_s, bucket.sites_up]
+            for bucket in report.buckets
+        ],
+    )
+    summary = [
+        ["commits", f"{report.commits:,}"],
+        ["steady commit/s", f"{report.steady_rate():,.0f}"],
+        ["min commit/s", f"{report.min_rate():,.0f}"],
+        ["final commit/s", f"{report.final_rate():,.0f}"],
+    ]
+    for reason, count in sorted(report.aborts_by_reason.items()):
+        summary.append([f"aborts ({reason})", f"{count:,}"])
+    for at_ms, kind, site in report.fault_events:
+        summary.append([f"{kind} site{site}", f"at {at_ms:g} ms"])
+    print_table("chaos summary", ["metric", "value"], summary)
+    if args.out:
+        report.write_csv(args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_experiments(_args) -> int:
     from repro.bench import experiments
 
@@ -217,6 +258,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="flame summary rows")
     add_common_arguments(trace)
     trace.set_defaults(fn=cmd_trace)
+
+    from repro.faults.plan import SCENARIOS
+
+    chaos = commands.add_parser(
+        "chaos", help="run a fault scenario and print the availability timeline"
+    )
+    chaos.add_argument("--system", choices=ALL_SYSTEMS, default="dynamast")
+    chaos.add_argument("--scenario", choices=SCENARIOS, default="crash-restart")
+    chaos.add_argument("--sites", type=int, default=3)
+    chaos.add_argument("--clients", type=int, default=16)
+    chaos.add_argument("--duration", type=float, default=10_000.0,
+                       help="simulated milliseconds")
+    chaos.add_argument("--bucket", type=float, default=250.0,
+                       help="availability bucket width, simulated ms")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--out", default="", help="write the timeline as CSV")
+    chaos.set_defaults(fn=cmd_chaos)
 
     experiments = commands.add_parser("experiments", help="list figure drivers")
     experiments.set_defaults(fn=cmd_experiments)

@@ -10,6 +10,15 @@ grant vectors.
 
 Read routing (§IV-B): a uniformly random site satisfying the client's
 session freshness.
+
+Under fault injection the selector switches to a survivable variant of
+the same protocol: masters are health-checked before routing, release
+RPCs to a *crashed* master are replaced by fencing the dead producer's
+durable log directly (a forced release marker), grants persistently
+retry and fail over to a live site, and a suspected-but-alive master
+aborts the transaction with a timeout rather than risking a split
+mastership. Without an installed injector every code path below is the
+legacy one, event-for-event.
 """
 
 from __future__ import annotations
@@ -20,9 +29,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.partitions import PartitionTable
 from repro.core.statistics import AccessStatistics, StatisticsConfig
 from repro.core.strategy import RemasterStrategy, StrategyWeights
+from repro.faults.errors import (
+    REASON_SITE_CRASH,
+    REASON_TIMEOUT,
+    FaultError,
+    RpcTimeout,
+    SiteDown,
+    TransactionAborted,
+)
 from repro.partitioning.schemes import PartitionScheme
+from repro.replication.log import RELEASE, LogRecord
 from repro.sim.resources import Resource
-from repro.sites.messages import remote_call
+from repro.sites.messages import RetryPolicy, guarded_call, remote_call
 from repro.systems.base import Cluster, Session
 from repro.transactions import Transaction
 from repro.versioning.vectors import VersionVector
@@ -39,6 +57,10 @@ class RouteResult:
     partitions: Tuple[int, ...]
     remastered: bool
     partitions_moved: int = 0
+    #: Activity-registration token (fault-aware routing only); passing
+    #: it to ``execute_update`` / ``activity.finish`` makes in-flight
+    #: deregistration idempotent across RPC retries and crashes.
+    token: Optional[tuple] = None
 
 
 class SiteSelector:
@@ -77,6 +99,8 @@ class SiteSelector:
         self.remaster_operations = 0
         self.partitions_moved = 0
         self.route_counts: List[int] = [0] * cluster.num_sites
+        #: Monotonic counter making activity tokens unique per routing.
+        self._route_seq = 0
 
     # -- write routing (Algorithm 1 driver) ------------------------------------
 
@@ -87,6 +111,9 @@ class SiteSelector:
         transaction is registered as in-flight on its partitions at the
         chosen site, so a subsequent release will wait for it.
         """
+        if self.cluster.faults is not None:
+            result = yield from self._route_update_faulted(txn, session)
+            return result
         env = self.env
         tracer = env.obs.tracer
         route_started = env.now
@@ -182,6 +209,7 @@ class SiteSelector:
         partitions: Sequence[int],
         shared: bool = False,
         exclusive: Optional[set] = None,
+        token: Optional[tuple] = None,
     ) -> None:
         """Register the routed txn in-flight, then drop partition locks.
 
@@ -190,7 +218,7 @@ class SiteSelector:
         release read holds (the downgraded stationary partitions of a
         remastering).
         """
-        self.cluster.activity.begin(site, partitions)
+        self.cluster.activity.begin(site, partitions, token)
         for partition in partitions:
             info = self.table.info(partition)
             if shared:
@@ -230,22 +258,295 @@ class SiteSelector:
                     partitions=len(partitions), source=source)
         return grant_vv
 
+    # -- fault-aware write routing ---------------------------------------------
+
+    def _healthy(self, site: int) -> bool:
+        return (
+            self.cluster.sites[site].alive
+            and not self.cluster.faults.detector.is_suspected(site)
+        )
+
+    def _route_update_faulted(self, txn: Transaction, session: Optional[Session]):
+        """Survivable :meth:`route_update`: health-checked masters,
+        failover remastering away from crashed sites.
+
+        A healthy single master routes exactly like the legacy path. An
+        unhealthy master — or a genuinely distributed write set — takes
+        exclusive locks on the whole write set (no downgrade
+        optimization: under faults a move can cascade if the chosen
+        destination dies mid-protocol, and the simpler lock discipline
+        keeps that re-entrant) and remasters onto a live site. Raises
+        :class:`TransactionAborted` when failure handling cannot route
+        the transaction; partition locks are always released.
+        """
+        env = self.env
+        token = (txn.txn_id, self._route_seq)
+        self._route_seq += 1
+        partitions = sorted(self.scheme.partitions_of(txn.write_set))
+        yield from self.cpu.use(self.config.costs.route_lookup_ms)
+        for partition in partitions:
+            yield self.table.info(partition).lock.acquire_read()
+        self.statistics.observe(env.now, txn.client_id, partitions)
+
+        masters = self.table.masters_of(partitions)
+        if len(masters) <= 1:
+            site = masters.pop() if masters else 0
+            if self._healthy(site):
+                self._register(site, partitions, shared=True, token=token)
+                return RouteResult(site, None, tuple(partitions), False, token=token)
+        # Unhealthy master or distributed write set: exclusive locks on
+        # everything, then remaster onto a live destination.
+        for partition in partitions:
+            self.table.info(partition).lock.release_read()
+        for partition in partitions:
+            yield self.table.info(partition).lock.acquire_write()
+        try:
+            masters = self.table.masters_of(partitions)
+            if len(masters) == 1:
+                only = next(iter(masters))
+                if self._healthy(only):
+                    # A concurrent routing already healed this write set.
+                    self._register(only, partitions, token=token)
+                    return RouteResult(
+                        only, None, tuple(partitions), False, token=token
+                    )
+            yield from self.cpu.use(self.config.costs.remaster_decision_ms)
+            destination, min_vv, moved, operations = yield from self._remaster_faulted(
+                partitions, txn, session
+            )
+        except FaultError:
+            for partition in partitions:
+                self.table.info(partition).lock.release_write()
+            raise
+        if operations:
+            self.remaster_operations += operations
+            self.partitions_moved += moved
+            self.updates_remastered += 1
+        self._register(destination, partitions, token=token)
+        return RouteResult(
+            destination,
+            min_vv if operations else None,
+            tuple(partitions),
+            operations > 0,
+            moved,
+            token=token,
+        )
+
+    def _remaster_faulted(
+        self, partitions: Sequence[int], txn: Transaction, session: Optional[Session]
+    ):
+        """Drive release/grant rounds until one healthy site masters all.
+
+        Each round re-reads the partition table (a destination crash
+        mid-round scatters groups across fallback grant targets, so a
+        single pass is not enough), excludes crashed and suspected
+        sites from the strategy's candidates, and moves every foreign
+        group sequentially. Bounded by the number of sites: divergence
+        requires a fresh crash, and each site crashes at most once per
+        plan.
+        """
+        faults = self.cluster.faults
+        min_vv = VersionVector.zeros(self.cluster.num_sites)
+        moved = 0
+        operations = 0
+        for _round in range(self.cluster.num_sites + 1):
+            groups = self.table.group_by_master(partitions)
+            masters = set(groups)
+            if len(masters) == 1:
+                only = next(iter(masters))
+                if self._healthy(only):
+                    return only, min_vv, moved, operations
+            destination = self._choose_destination_faulted(partitions, session)
+            moves = [
+                (source, tuple(group))
+                for source, group in sorted(groups.items())
+                if source != destination
+            ]
+            if not moves:
+                return destination, min_vv, moved, operations
+            for source, group in moves:
+                target, grant_vv = yield from self._move_faulted(
+                    source, group, destination, txn
+                )
+                min_vv = min_vv.element_max(grant_vv)
+                for partition in group:
+                    self.table.set_master(partition, target)
+                operations += 1
+                moved += len(group)
+        reason = REASON_SITE_CRASH if faults.any_crashed else REASON_TIMEOUT
+        raise TransactionAborted(
+            reason, f"remastering of {tuple(partitions)} did not converge"
+        )
+
+    def _choose_destination_faulted(
+        self, partitions: Sequence[int], session: Optional[Session]
+    ) -> int:
+        """Strategy choice restricted to live (and ideally unsuspected) sites."""
+        faults = self.cluster.faults
+        sites = self.cluster.sites
+        dead = {site.index for site in sites if not site.alive}
+        suspected = {
+            index
+            for index in range(self.cluster.num_sites)
+            if faults.detector.is_suspected(index)
+        }
+        exclude = dead | suspected
+        if len(exclude) >= self.cluster.num_sites:
+            exclude = dead
+        site_vvs = [site.svv for site in sites]
+        session_vv = session.cvv if session is not None else None
+        destination, _scores = self.strategy.choose_site(
+            partitions, site_vvs, session_vv, exclude=exclude
+        )
+        return destination
+
+    def _move_faulted(
+        self,
+        source: int,
+        partitions: Tuple[int, ...],
+        destination: int,
+        txn: Transaction,
+    ):
+        """One survivable release -> grant chain.
+
+        Release: a *crashed* source is fenced through its durable log
+        (:meth:`_force_release` — the log service refuses appends from
+        a dead producer, so writing the marker on its behalf is safe);
+        a live source gets a guarded RPC with bounded retries — a
+        suspected-but-alive master times the transaction out instead of
+        risking two masters. Grant: must land somewhere once the
+        release marker exists, or the partitions stay orphaned — so it
+        retries persistently, failing over to another live site if the
+        chosen target dies. Returns ``(actual target, grant vector)``.
+        """
+        env = self.env
+        faults = self.cluster.faults
+        sites = self.cluster.sites
+        policy = RetryPolicy(faults.rpc, faults.rng)
+        timeout_ms = faults.rpc.remaster_timeout_ms
+
+        release_vv = None
+        failures = 0
+        while release_vv is None:
+            if faults.is_crashed(source):
+                release_vv = self._force_release(source, partitions)
+                break
+            try:
+                release_vv = yield from guarded_call(
+                    self.network,
+                    sites[source],
+                    sites[source].release_mastership(partitions),
+                    category="remaster",
+                    timeout_ms=timeout_ms,
+                )
+            except SiteDown:
+                continue  # re-checks is_crashed -> forced release
+            except RpcTimeout:
+                failures += 1
+                if failures >= policy.attempts:
+                    raise TransactionAborted(
+                        REASON_TIMEOUT,
+                        f"release of {partitions} at site {source} timed out",
+                    )
+                yield env.timeout(policy.backoff_ms(failures - 1))
+
+        failures = 0
+        target = destination
+        while True:
+            if not sites[target].alive:
+                target = self._alive_target()
+            try:
+                grant_vv = yield from guarded_call(
+                    self.network,
+                    sites[target],
+                    sites[target].grant_mastership(
+                        partitions, release_vv, source=source
+                    ),
+                    category="remaster",
+                    timeout_ms=timeout_ms,
+                )
+                return target, grant_vv
+            except SiteDown:
+                continue  # re-picks a live target
+            except RpcTimeout:
+                # The grant may or may not have applied; re-granting is
+                # idempotent (a duplicate marker replays harmlessly and
+                # the returned vector still covers the release point).
+                failures += 1
+                yield env.timeout(policy.backoff_ms(min(failures - 1, 8)))
+
+    def _alive_target(self) -> int:
+        """Lowest-indexed live unsuspected site (live site as fallback)."""
+        faults = self.cluster.faults
+        candidates = [
+            site.index
+            for site in self.cluster.sites
+            if site.alive and not faults.detector.is_suspected(site.index)
+        ]
+        if not candidates:
+            candidates = [site.index for site in self.cluster.sites if site.alive]
+        if not candidates:
+            raise TransactionAborted(
+                REASON_SITE_CRASH, "no live site to grant mastership to"
+            )
+        return candidates[0]
+
+    def _force_release(self, source: int, partitions: Tuple[int, ...]):
+        """Fence a dead master by appending its release marker directly.
+
+        The durable log outlives its site (it is the Kafka substitute);
+        appending the marker on the dead producer's behalf is exactly
+        the failover the log service's fencing makes safe — the crashed
+        site cannot concurrently append, and on restart it replays this
+        marker like everyone else and comes back without the partitions.
+        Atomic (no yields), so no competing routing can interleave.
+        """
+        log = self.cluster.sites[source].log
+        seq = len(log.records) + 1
+        marker_tvv = tuple(
+            seq if index == source else 0 for index in range(self.cluster.num_sites)
+        )
+        log.append(
+            LogRecord(RELEASE, source, marker_tvv, partitions=tuple(partitions))
+        )
+        release_vv = VersionVector.zeros(self.cluster.num_sites)
+        release_vv[source] = seq
+        return release_vv
+
     # -- read routing (§IV-B) --------------------------------------------------------
 
     def route_read(self, txn: Transaction, session: Session):
-        """Pick a session-fresh site for a read-only transaction."""
+        """Pick a session-fresh site for a read-only transaction.
+
+        Under fault injection, crashed and suspected sites are filtered
+        out first (falling back to any live site when suspicion covers
+        everything).
+        """
         route_started = self.env.now
         yield from self.cpu.use(self.config.costs.route_lookup_ms)
+        faults = self.cluster.faults
+        if faults is None:
+            candidates = self.cluster.sites
+        else:
+            detector = faults.detector
+            candidates = [
+                site for site in self.cluster.sites
+                if site.alive and not detector.is_suspected(site.index)
+            ]
+            if not candidates:
+                candidates = [site for site in self.cluster.sites if site.alive]
+            if not candidates:
+                candidates = self.cluster.sites
         fresh = [
             site.index
-            for site in self.cluster.sites
+            for site in candidates
             if site.svv.dominates(session.cvv)
         ]
         if fresh:
             choice = fresh[self._read_rng.randrange(len(fresh))]
         else:
             choice = min(
-                self.cluster.sites,
+                candidates,
                 key=lambda site: site.svv.lag_behind(session.cvv),
             ).index
         self.reads_routed += 1

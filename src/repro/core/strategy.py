@@ -260,16 +260,26 @@ class RemasterStrategy:
         write_partitions: Sequence[int],
         site_vvs: Sequence[VersionVector],
         session_vv: Optional[VersionVector] = None,
+        exclude: Optional[set] = None,
     ) -> Tuple[int, List[SiteScore]]:
         """Pick the destination site for a remastering operation.
 
         ``site_vvs`` holds the current version vector of every site
-        (index-aligned). Returns the winning site and all scores.
+        (index-aligned). ``exclude`` removes candidates (crashed or
+        suspected sites during failure handling). Returns the winning
+        site and all scores.
         """
         loads = self.statistics.site_write_loads(self.table.master_of, self.num_sites)
         current_masters = {self.table.master_of(p) for p in write_partitions}
+        candidates = [
+            candidate
+            for candidate in range(self.num_sites)
+            if not exclude or candidate not in exclude
+        ]
+        if not candidates:
+            raise ValueError("no candidate sites left after exclusions")
         scores = []
-        for candidate in range(self.num_sites):
+        for candidate in candidates:
             source_vvs = [
                 site_vvs[master]
                 for master in current_masters

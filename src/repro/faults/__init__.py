@@ -1,0 +1,48 @@
+"""Deterministic fault injection (crashes, partitions, loss) and the
+failure-handling vocabulary the protocol stack shares.
+
+The package is inert unless a :class:`FaultInjector` is installed on a
+cluster: every hook in the simulator is gated on ``faults is None``, so
+runs without a plan are bit-identical to the pre-fault codebase.
+"""
+
+from repro.faults.detector import FailureDetector
+from repro.faults.errors import (
+    REASON_CONFLICT,
+    REASON_SITE_CRASH,
+    REASON_TIMEOUT,
+    FaultError,
+    RpcTimeout,
+    SiteDown,
+    TransactionAborted,
+)
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import (
+    FRONTEND,
+    SCENARIOS,
+    CrashFault,
+    FaultPlan,
+    LinkFault,
+    build_scenario,
+    partition_site,
+)
+
+__all__ = [
+    "FailureDetector",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "CrashFault",
+    "LinkFault",
+    "RpcTimeout",
+    "SiteDown",
+    "TransactionAborted",
+    "FRONTEND",
+    "SCENARIOS",
+    "REASON_CONFLICT",
+    "REASON_SITE_CRASH",
+    "REASON_TIMEOUT",
+    "build_scenario",
+    "partition_site",
+]

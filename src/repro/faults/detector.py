@@ -1,0 +1,53 @@
+"""Timeout-based failure suspicion.
+
+The site selector and routers must not require ground truth about
+which sites are up: they *suspect* a site after repeated RPC timeouts
+(or immediately on a connection-refused), route around suspected
+sites, and clear the suspicion on the next successful exchange. This
+is the classic unreliable failure detector: a slow-but-live site can
+be suspected (its transactions abort with ``timeout`` rather than
+hang), and only the injector's ground truth — standing in for the
+durable-log service fencing a dead producer — authorizes the
+destructive failover path (forced mastership release).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class FailureDetector:
+    """Counts consecutive timeouts per site; suspects past a threshold."""
+
+    def __init__(self, threshold: int = 2):
+        if threshold < 1:
+            raise ValueError(f"suspicion threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._strikes: Dict[int, int] = {}
+        self._suspected: Set[int] = set()
+
+    def report_timeout(self, site: int) -> None:
+        strikes = self._strikes.get(site, 0) + 1
+        self._strikes[site] = strikes
+        if strikes >= self.threshold:
+            self._suspected.add(site)
+
+    def report_down(self, site: int) -> None:
+        """Connection refused/reset: suspect immediately."""
+        self._strikes[site] = self.threshold
+        self._suspected.add(site)
+
+    def report_success(self, site: int) -> None:
+        self._strikes.pop(site, None)
+        self._suspected.discard(site)
+
+    def clear(self, site: int) -> None:
+        """Forget all evidence about ``site`` (it announced a restart)."""
+        self.report_success(site)
+
+    def is_suspected(self, site: int) -> bool:
+        return site in self._suspected
+
+    @property
+    def suspected(self) -> Set[int]:
+        return set(self._suspected)

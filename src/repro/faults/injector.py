@@ -1,0 +1,150 @@
+"""Deterministic fault injection against a live cluster.
+
+The injector interprets a :class:`~repro.faults.plan.FaultPlan`:
+
+* it is the ``faults`` hook the network consults for per-link
+  partitions, probabilistic loss, and extra delay (all draws come from
+  the dedicated ``faults`` RNG stream, so an empty plan changes no
+  random state anywhere);
+* it runs one process per :class:`~repro.faults.plan.CrashFault` that
+  fail-stops the site at the scheduled time and, optionally, restarts
+  it later via live log-replay rejoin;
+* it owns the shared :class:`~repro.faults.detector.FailureDetector`
+  the routers use for suspicion, and the ground truth
+  (:meth:`is_crashed`) that gates the destructive failover path —
+  standing in for the durable-log service fencing a dead producer.
+
+Every fault transition is recorded in :attr:`events` for reports and
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.faults.detector import FailureDetector
+from repro.faults.plan import FaultPlan, LinkFault
+from repro.replication.recovery import rejoin_site
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed fault transition (for timelines and assertions)."""
+
+    at_ms: float
+    kind: str  # "crash" | "restart"
+    site: int
+
+
+class FaultInjector:
+    """Drives a fault plan against a cluster; the protocol's adversary."""
+
+    def __init__(self, cluster, plan: FaultPlan, rng):
+        plan.validate(cluster.config.num_sites)
+        self.cluster = cluster
+        self.plan = plan
+        self.rng = rng
+        self.rpc = cluster.config.rpc
+        self.detector = FailureDetector(self.rpc.suspicion_threshold)
+        self.events: List[FaultEvent] = []
+        self._crashed: Set[int] = set()
+        #: partition -> master site at load time, for mastership replay.
+        self.initial_mastership: Dict[int, int] = {}
+        self._links_by_pair: Dict[Tuple[int, int], List[LinkFault]] = {}
+        for link in plan.links:
+            self._links_by_pair.setdefault((link.src, link.dst), []).append(link)
+
+    def install(self) -> None:
+        """Hook the cluster and schedule the plan's crash processes.
+
+        Must be called before the workload starts (the captured
+        mastership map must be the load-time placement the durable
+        logs' markers are replayed against).
+        """
+        self.cluster.faults = self
+        self.cluster.network.faults = self
+        for site in self.cluster.sites:
+            for partition in site.mastered:
+                self.initial_mastership[partition] = site.index
+        for crash in self.plan.crashes:
+            self.cluster.env.process(self._crash_proc(crash))
+
+    # -- ground truth -----------------------------------------------------
+
+    def is_crashed(self, site: int) -> bool:
+        """Whether ``site`` is actually down right now (not mere suspicion).
+
+        Only this — modeling the log service refusing a fenced, dead
+        producer — may authorize forced mastership failover; suspicion
+        alone aborts the transaction instead.
+        """
+        return site in self._crashed
+
+    @property
+    def any_crashed(self) -> bool:
+        return bool(self._crashed)
+
+    def sites_up(self) -> int:
+        return self.cluster.config.num_sites - len(self._crashed)
+
+    # -- link state (consulted by Network.leg_lost / leg_delay) -----------
+
+    def link_cut(self, src: int, dst: int) -> bool:
+        now = self.cluster.env.now
+        return any(
+            link.drop and link.active_at(now)
+            for link in self._links_by_pair.get((src, dst), ())
+        )
+
+    def link_extra_delay(self, src: int, dst: int) -> float:
+        now = self.cluster.env.now
+        return sum(
+            link.extra_delay_ms
+            for link in self._links_by_pair.get((src, dst), ())
+            if link.active_at(now)
+        )
+
+    def message_lost(self, src: int, dst: int) -> bool:
+        """Loss verdict for one message on ``src -> dst``, drawn now.
+
+        A cut link loses everything without consuming randomness;
+        otherwise the active loss probabilities combine independently
+        and a single draw from the faults stream decides.
+        """
+        faults = self._links_by_pair.get((src, dst))
+        if not faults:
+            return False
+        now = self.cluster.env.now
+        survive = 1.0
+        cut = False
+        for link in faults:
+            if not link.active_at(now):
+                continue
+            if link.drop:
+                cut = True
+            else:
+                survive *= 1.0 - link.loss
+        if cut:
+            return True
+        if survive >= 1.0:
+            return False
+        return self.rng.random() >= survive
+
+    # -- crash / restart schedule -----------------------------------------
+
+    def _crash_proc(self, crash):
+        env = self.cluster.env
+        yield env.timeout(crash.at_ms)
+        site = self.cluster.sites[crash.site]
+        self._crashed.add(crash.site)
+        site.crash()
+        self.detector.report_down(crash.site)
+        self.events.append(FaultEvent(env.now, "crash", crash.site))
+        if crash.restart_at_ms is None:
+            return
+        yield env.timeout(crash.restart_at_ms - crash.at_ms)
+        yield from rejoin_site(self.cluster, crash.site, self.initial_mastership)
+        self._crashed.discard(crash.site)
+        self.detector.clear(crash.site)
+        self.events.append(FaultEvent(env.now, "restart", crash.site))

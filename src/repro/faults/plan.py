@@ -1,0 +1,183 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is pure data: what fails, when, and for how long.
+The :class:`~repro.faults.injector.FaultInjector` interprets it against
+a live cluster. Keeping the schedule declarative makes fault scenarios
+reproducible (the plan plus the seed fully determine the run) and lets
+property tests generate arbitrary plans.
+
+Site indices: data sites are ``0..num_sites-1``; :data:`FRONTEND`
+(``-1``) denotes the front-end tier (site selector / router), which
+never crashes but whose links to data sites can fail — cutting every
+``(FRONTEND, i)`` link isolates site *i* from new work while its
+replication feed (the durable-log service) keeps flowing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Pseudo-site index for the front-end tier (selector/router machines).
+FRONTEND = -1
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash site ``site`` at ``at_ms``; restart at ``restart_at_ms``.
+
+    ``restart_at_ms=None`` means the site stays down for the rest of
+    the run. A restart performs a live rejoin: log replay through the
+    recovery machinery, then catch-up refreshes from the subscription
+    position the replay established.
+    """
+
+    site: int
+    at_ms: float
+    restart_at_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade the directed link ``src -> dst`` over an interval.
+
+    ``drop=True`` blackholes every message; otherwise ``loss`` is the
+    probability each message is lost (drawn from the faults RNG
+    stream) and ``extra_delay_ms`` is added to each delivery. The
+    interval must be finite: permanent partitions would make 2PC
+    decision delivery — and therefore transaction termination —
+    impossible, so the plan validator rejects them (crashes may be
+    permanent instead).
+    """
+
+    src: int
+    dst: int
+    start_ms: float
+    end_ms: float
+    drop: bool = False
+    loss: float = 0.0
+    extra_delay_ms: float = 0.0
+
+    def active_at(self, now: float) -> bool:
+        return self.start_ms <= now < self.end_ms
+
+
+def partition_site(
+    site: int,
+    start_ms: float,
+    end_ms: float,
+    num_sites: int,
+    include_frontend: bool = True,
+) -> List[LinkFault]:
+    """Sugar: cut both directions of every link touching ``site``."""
+    peers = [index for index in range(num_sites) if index != site]
+    if include_frontend:
+        peers.append(FRONTEND)
+    faults = []
+    for peer in peers:
+        faults.append(LinkFault(site, peer, start_ms, end_ms, drop=True))
+        faults.append(LinkFault(peer, site, start_ms, end_ms, drop=True))
+    return faults
+
+
+@dataclass
+class FaultPlan:
+    """A complete, declarative fault schedule for one run."""
+
+    crashes: Tuple[CrashFault, ...] = ()
+    links: Tuple[LinkFault, ...] = ()
+
+    def __post_init__(self):
+        self.crashes = tuple(self.crashes)
+        self.links = tuple(self.links)
+
+    @property
+    def empty(self) -> bool:
+        return not self.crashes and not self.links
+
+    def validate(self, num_sites: int) -> None:
+        """Reject schedules the protocol stack cannot survive."""
+        seen_sites = set()
+        for crash in self.crashes:
+            if not 0 <= crash.site < num_sites:
+                raise ValueError(f"crash names unknown site {crash.site}")
+            if crash.site in seen_sites:
+                raise ValueError(
+                    f"site {crash.site} appears in more than one CrashFault; "
+                    "use one fault per site (a site crashes at most once)"
+                )
+            seen_sites.add(crash.site)
+            if crash.at_ms < 0:
+                raise ValueError(f"crash time must be >= 0, got {crash.at_ms}")
+            if crash.restart_at_ms is not None and crash.restart_at_ms <= crash.at_ms:
+                raise ValueError(
+                    f"site {crash.site}: restart at {crash.restart_at_ms} "
+                    f"is not after the crash at {crash.at_ms}"
+                )
+        if len(seen_sites) >= num_sites:
+            raise ValueError("a plan may not crash every site")
+        for link in self.links:
+            for end in (link.src, link.dst):
+                if end != FRONTEND and not 0 <= end < num_sites:
+                    raise ValueError(f"link fault names unknown site {end}")
+            if link.src == link.dst:
+                raise ValueError(f"link fault on a self-loop ({link.src})")
+            if not 0.0 <= link.loss < 1.0:
+                raise ValueError(
+                    f"loss must be in [0, 1) (use drop=True for a full cut), "
+                    f"got {link.loss}"
+                )
+            if link.extra_delay_ms < 0:
+                raise ValueError(f"negative extra delay: {link.extra_delay_ms}")
+            if not link.end_ms > link.start_ms >= 0:
+                raise ValueError(
+                    f"link fault interval [{link.start_ms}, {link.end_ms}) is empty"
+                )
+            if link.end_ms == float("inf"):
+                raise ValueError(
+                    "link faults must end (permanent partitions would make "
+                    "transaction termination impossible); crash the site instead"
+                )
+
+
+#: Named scenarios for ``repro chaos`` / ``make chaos``.
+SCENARIOS = ("crash-restart", "crash", "partition", "lossy")
+
+
+def build_scenario(
+    name: str,
+    num_sites: int,
+    duration_ms: float,
+    outage_ms: Optional[float] = None,
+) -> FaultPlan:
+    """Instantiate a named scenario scaled to the run duration.
+
+    ``crash-restart`` (the paper-style availability experiment) crashes
+    one site a third of the way in and restarts it ``outage_ms`` later
+    (default: 20 simulated seconds, capped to a third of the run).
+    """
+    if num_sites < 2:
+        raise ValueError("fault scenarios need at least two sites")
+    third = duration_ms / 3.0
+    outage = outage_ms if outage_ms is not None else min(20_000.0, third)
+    victim = 1
+    if name == "crash-restart":
+        return FaultPlan(crashes=(
+            CrashFault(victim, at_ms=third, restart_at_ms=third + outage),
+        ))
+    if name == "crash":
+        return FaultPlan(crashes=(CrashFault(victim, at_ms=third),))
+    if name == "partition":
+        return FaultPlan(links=tuple(
+            partition_site(victim, third, third + outage, num_sites)
+        ))
+    if name == "lossy":
+        links = []
+        for src in range(num_sites):
+            for dst in range(num_sites):
+                if src != dst:
+                    links.append(LinkFault(src, dst, third, third + outage, loss=0.2))
+            links.append(LinkFault(FRONTEND, src, third, third + outage, loss=0.2))
+            links.append(LinkFault(src, FRONTEND, third, third + outage, loss=0.2))
+        return FaultPlan(links=tuple(links))
+    raise ValueError(f"unknown scenario {name!r}; expected one of {SCENARIOS}")

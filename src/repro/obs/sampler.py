@@ -95,16 +95,20 @@ def attach_cluster_probes(sampler: TimelineSampler, cluster,
     interval = sampler.interval_ms
     for site in cluster.sites:
         label = f"site{site.index}"
+        # Probes hold the *site* and dereference per sample: a crash
+        # replaces the site's cpu / database / svv objects, so a probe
+        # capturing those directly would silently read dead state after
+        # a fault-injected restart.
         sampler.add_probe(
-            f"cpu_utilization.{label}", _cpu_probe(site.cpu, interval)
+            f"cpu_utilization.{label}", _cpu_probe(site, interval)
         )
         sampler.add_probe(
             f"lock_depth.{label}",
-            lambda locks=site.database.locks: locks.held_count(),
+            lambda site=site: site.database.locks.held_count(),
         )
         sampler.add_probe(
             f"replication_queue.{label}",
-            lambda manager=site.replication: manager.queue_depth(),
+            lambda site=site: site.replication.queue_depth(),
         )
     for follower in cluster.sites:
         for origin in cluster.sites:
@@ -122,13 +126,20 @@ def attach_cluster_probes(sampler: TimelineSampler, cluster,
         )
 
 
-def _cpu_probe(cpu, interval_ms: float) -> Callable[[], float]:
-    """Windowed utilization: busy fraction over the last interval."""
-    state = {"busy": cpu.busy_time_now()}
+def _cpu_probe(site, interval_ms: float) -> Callable[[], float]:
+    """Windowed utilization: busy fraction over the last interval.
+
+    Reads ``site.cpu`` on every sample (a crash swaps the resource in
+    for a fresh one, resetting its busy counter); the delta is clamped
+    at zero so the sample spanning a crash reads as idle rather than
+    as a negative utilization.
+    """
+    state = {"busy": site.cpu.busy_time_now()}
 
     def probe() -> float:
+        cpu = site.cpu
         busy = cpu.busy_time_now()
-        delta, state["busy"] = busy - state["busy"], busy
+        delta, state["busy"] = max(0.0, busy - state["busy"]), busy
         return delta / (interval_ms * cpu.capacity)
 
     return probe

@@ -72,15 +72,31 @@ class DurableLog:
     def __len__(self) -> int:
         return len(self.records)
 
-    def subscribe(self) -> Store:
+    def subscribe(self, from_seq: Optional[int] = None) -> Store:
         """Register a new subscriber; returns its delivery queue.
 
-        Only records appended after subscription are delivered (a
-        recovering site first replays :attr:`records`, then subscribes).
+        By default only records appended after subscription are
+        delivered (a recovering site first replays :attr:`records`,
+        then subscribes). Passing ``from_seq`` resumes a stream from a
+        known position instead: every retained record with
+        ``seq > from_seq`` is pre-loaded into the queue immediately —
+        the log is durable, so a restarted subscriber can always
+        continue from its version vector without a full replay.
         """
         queue = Store(self.env)
+        if from_seq is not None:
+            for record in self.records:
+                if record.seq > from_seq:
+                    queue.put(record)
         self._subscribers.append(queue)
         return queue
+
+    def unsubscribe(self, queue: Store) -> None:
+        """Stop delivering to ``queue`` (its owner crashed or rewired)."""
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
 
     def append(self, record: LogRecord) -> None:
         """Durably append ``record`` and schedule fan-out delivery."""

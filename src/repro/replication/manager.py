@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List
 
+from repro.faults.errors import FaultError, SiteDown
 from repro.replication.log import DurableLog, LogRecord
 from repro.versioning.vectors import VersionVector, can_apply_refresh
 
@@ -39,14 +40,46 @@ class ReplicationManager:
         self._drainers: List = []
         #: Delivery queues, one per subscribed origin (depth probe).
         self.queues: List = []
+        #: The logs backing ``queues``, index-aligned (for unsubscribe).
+        self._logs: List[DurableLog] = []
 
-    def subscribe_to(self, log: DurableLog) -> None:
+    def subscribe_to(self, log: DurableLog, from_seq=None) -> None:
         """Start draining ``log`` (must belong to a different site)."""
         if log.origin == self.site.index:
             raise ValueError("a site does not subscribe to its own log")
-        queue = log.subscribe()
+        queue = log.subscribe(from_seq=from_seq)
         self.queues.append(queue)
+        self._logs.append(log)
         self._drainers.append(self.site.env.process(self._drain(queue)))
+
+    def shutdown(self) -> None:
+        """Tear down all streams (the site crashed).
+
+        Interrupts the drainer processes (their ``finally`` blocks
+        release any CPU core they hold) and detaches the delivery
+        queues from the durable logs so no further records pile up in
+        dead queues.
+        """
+        for drainer in self._drainers:
+            if drainer.is_alive:
+                drainer.interrupt(SiteDown(self.site.index))
+        for log, queue in zip(self._logs, self.queues):
+            log.unsubscribe(queue)
+        self._drainers.clear()
+        self.queues.clear()
+        self._logs.clear()
+
+    def resubscribe(self, sites, from_vector) -> None:
+        """Re-attach to every peer log after a restart.
+
+        ``from_vector`` is the site version vector the recovery replay
+        established; each stream resumes from its origin's component,
+        so records already reflected in the replayed state are not
+        re-delivered and no record is skipped.
+        """
+        for other in sites:
+            if other is not self.site and self.site.replicated and other.replicated:
+                self.subscribe_to(other.log, from_seq=from_vector[other.log.origin])
 
     def queue_depth(self) -> int:
         """Records delivered but not yet picked up by the drainers.
@@ -67,6 +100,14 @@ class ReplicationManager:
         """
         site = self.site
         pending = []
+        try:
+            yield from self._drain_loop(site, queue, pending)
+        except FaultError:
+            # The site crashed under us (shutdown() interrupt). The
+            # inner finally already released any held core; just stop.
+            return
+
+    def _drain_loop(self, site, queue, pending):
         while True:
             if not pending:
                 pending.append((yield queue.get()))

@@ -9,39 +9,71 @@ markers in the same logs.
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from typing import Dict, Iterable, Optional, Sequence
 
 from repro.replication.log import GRANT, RELEASE, UPDATE, DurableLog
 from repro.sim.core import Environment
 from repro.storage.database import Database
-from repro.versioning.vectors import VersionVector, can_apply_refresh
+from repro.versioning.vectors import VersionVector
 
 
 def merge_logs(logs: Sequence[DurableLog]) -> list:
     """Order all records across logs consistently with Equation 1.
 
-    Repeatedly applies any record admissible under the update
-    application rule, starting from the zero vector — exactly what a
-    recovering replica does. Raises if the logs are inconsistent (some
-    record's dependencies can never be satisfied).
+    Produces the order a recovering replica applies: a record from
+    ``origin`` is admissible once ``svv[origin] == seq - 1`` (per-log
+    FIFO, automatic for well-formed logs) and ``svv[k] >= tvv[k]`` for
+    every other component (its dependencies were applied). Raises if
+    the logs are inconsistent (some record's dependencies can never be
+    satisfied).
+
+    Runs in O(total records x vector width): each log head is examined
+    once per park/wake, and a head parks on exactly one blocking
+    component — the first one short of its dependency — and is woken
+    only when that component reaches the required sequence number. The
+    naive formulation (rescan every log after every applied record) is
+    quadratic in the total record count, which made restart replay the
+    dominant cost of a long chaos run.
     """
-    cursors = [0] * len(logs)
-    svv = VersionVector.zeros(len(logs))
+    num = len(logs)
+    svv = [0] * num
+    cursors = [0] * num
     ordered = []
-    total = sum(len(log) for log in logs)
-    while len(ordered) < total:
-        progressed = False
-        for index, log in enumerate(logs):
-            while cursors[index] < len(log.records):
-                record = log.records[cursors[index]]
-                if not can_apply_refresh(svv, VersionVector(record.tvv), record.origin):
-                    break
-                ordered.append(record)
-                svv[record.origin] = record.seq
-                cursors[index] += 1
-                progressed = True
-        if not progressed:
+    ready: deque = deque()
+    #: Per-component min-heaps of (needed seq, blocked log index).
+    waiters = [[] for _ in range(num)]
+
+    def examine(index: int) -> None:
+        """Queue log ``index``'s head as ready, or park it on a blocker."""
+        if cursors[index] >= len(logs[index].records):
+            return
+        record = logs[index].records[cursors[index]]
+        tvv = record.tvv
+        for component in range(num):
+            if component != index and tvv[component] > svv[component]:
+                heapq.heappush(waiters[component], (tvv[component], index))
+                return
+        ready.append(record)
+        cursors[index] += 1
+
+    for index in range(num):
+        examine(index)
+    while ready:
+        record = ready.popleft()
+        origin = record.origin
+        if record.seq != svv[origin] + 1:
             raise ValueError("logs are inconsistent: no admissible record found")
+        ordered.append(record)
+        svv[origin] = record.seq
+        examine(origin)
+        heap = waiters[origin]
+        while heap and heap[0][0] <= svv[origin]:
+            _, blocked = heapq.heappop(heap)
+            examine(blocked)
+    if len(ordered) < sum(len(log) for log in logs):
+        raise ValueError("logs are inconsistent: no admissible record found")
     return ordered
 
 
@@ -120,6 +152,53 @@ def recover_site(cluster, index: int, initial_mastership: Dict[int, int]):
     cluster.sites[index] = replacement
     replacement.connect(cluster.sites)
     return replacement
+
+
+def rejoin_site(cluster, index: int, initial_mastership: Dict[int, int]):
+    """Bring a crashed site back online *during* a run (live restart).
+
+    A generator meant to run inside a simulated process (the fault
+    injector's). Unlike :func:`recover_site`, which rebuilds a site
+    offline between runs, this restarts the existing
+    :class:`~repro.sites.data_site.DataSite` object in place — every
+    reference held by probes, selectors, and peers stays valid.
+
+    Replicated sites replay all durable logs (charged as refresh CPU
+    on the recovering machine — the paper's ~0.4s/site replay, §V-C),
+    reconstruct database, site version vector, and mastership, then
+    resume each peer's replication stream from the replayed vector, so
+    catch-up refreshes flow without re-delivering applied records.
+    Non-replicated sites (partition-store, LEAP) model a locally
+    durable store: they replay their own log onto surviving state and
+    come back with the database they crashed with.
+    """
+    site = cluster.sites[index]
+    costs = cluster.config.costs
+    if site.replicated:
+        logs = [peer.log for peer in cluster.sites]
+        replay_ms = sum(
+            costs.refresh_ms(len(record.writes)) for record in merge_logs(logs)
+        )
+        yield from site.cpu.use(replay_ms)
+        database, svv = recover_database(
+            cluster.env, logs, max_versions=cluster.config.max_versions
+        )
+        mastership = recover_mastership(logs, initial_mastership)
+        mastered = {
+            partition for partition, owner in mastership.items() if owner == index
+        }
+        # No yields between recovery and resubscription: the replayed
+        # vector and the subscription positions describe the same
+        # instant, so the streams resume gap- and overlap-free.
+        site.complete_restart(database, svv, mastered)
+        site.replication.resubscribe(cluster.sites, svv)
+    else:
+        replay_ms = sum(
+            costs.refresh_ms(len(record.writes)) for record in site.log.records
+        )
+        yield from site.cpu.use(replay_ms)
+        site.complete_restart(site.database, site.svv, site.mastered)
+    return site
 
 
 def recover_mastership(

@@ -95,6 +95,34 @@ class SizeModel:
 
 
 @dataclass
+class RpcConfig:
+    """Timeout/retry/suspicion knobs for the hardened RPC layer.
+
+    Only consulted when a fault plan is active; unfaulted runs never
+    arm a timeout or take a retry branch, so these values cannot
+    perturb them. The timeout is deliberately generous relative to
+    typical transaction latencies (a few ms) so that a loaded-but-live
+    site is not mistaken for a dead one; a crashed site is detected
+    fast anyway via connection-refused (:class:`~repro.faults.errors.
+    SiteDown`), so timeouts mostly fire for lost/partitioned messages.
+    """
+
+    #: How long a caller waits for an RPC response before giving up.
+    timeout_ms: float = 50.0
+    #: Remastering RPCs (release/grant) legitimately block on quiesce
+    #: and replication catch-up; they get a longer leash.
+    remaster_timeout_ms: float = 400.0
+    #: Retries after the first attempt of a protocol-level operation.
+    max_retries: int = 3
+    #: Exponential backoff: min(cap, base * 2**attempt), jittered
+    #: +-50% from the faults RNG stream.
+    backoff_base_ms: float = 1.0
+    backoff_cap_ms: float = 16.0
+    #: Consecutive timeouts before a site is suspected dead.
+    suspicion_threshold: int = 2
+
+
+@dataclass
 class ClusterConfig:
     """Everything needed to instantiate a simulated cluster."""
 
@@ -113,6 +141,7 @@ class ClusterConfig:
     costs: CostModel = field(default_factory=CostModel)
     sizes: SizeModel = field(default_factory=SizeModel)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    rpc: RpcConfig = field(default_factory=RpcConfig)
     seed: int = 0
 
     def scaled(self, **changes) -> "ClusterConfig":

@@ -150,8 +150,47 @@ class Process(Event):
         """True while the underlying generator has not finished."""
         return self._value is _PENDING
 
+    def interrupt(self, exception: BaseException) -> None:
+        """Throw ``exception`` into the process *synchronously*.
+
+        Used by fault injection to model a machine crash: the victim's
+        generator unwinds immediately (its ``finally`` blocks run
+        against the pre-crash structures — releasing locks and CPU
+        slots of the machine state that is about to be discarded),
+        before the caller replaces any of those structures. The process
+        then triggers as failed; anything racing it via ``AnyOf`` sees
+        the failure defused, and nobody else is expected to wait on an
+        interrupted process.
+
+        Interrupting an already-finished process is a no-op.
+        """
+        if self._value is not _PENDING:
+            return
+        if not isinstance(exception, BaseException):
+            raise SimulationError("interrupt() requires an exception instance")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            # Stop the stale wakeup: the event we were waiting on must
+            # not resume this process when it eventually triggers.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        # Synthesize a pre-defused failed event and consume it now, so
+        # the generator unwinds within this very call.
+        cause = Event(self.env)
+        cause._ok = False
+        cause._value = exception
+        cause._defused = True
+        self._resume(cause)
+
     def _resume(self, event: Event) -> None:
         """Advance the generator, chaining through already-processed events."""
+        if self._value is not _PENDING:
+            # Already finished (e.g. interrupted before its Initialize
+            # event fired); ignore stale wakeups.
+            return
         while True:
             try:
                 if event._ok:

@@ -45,13 +45,25 @@ class TrafficCounters:
 
 
 class Network:
-    """Creates delay events for messages and accounts traffic."""
+    """Creates delay events for messages and accounts traffic.
+
+    By default every message succeeds after a uniform (size-dependent)
+    delay. When a fault injector is installed (``self.faults``), the
+    network exposes a per-link view — :meth:`leg_lost` and
+    :meth:`leg_delay` consult the injector's link-state matrix for
+    partitions, probabilistic loss, and extra per-link delay. The
+    legacy single-delay path (:meth:`transfer`, :meth:`delay_for`) is
+    untouched, so runs without a fault plan are bit-identical.
+    """
 
     def __init__(self, env: Environment, config: NetworkConfig | None = None, rng=None):
         self.env = env
         self.config = config or NetworkConfig()
         self._rng = rng
         self.traffic = TrafficCounters()
+        #: The installed :class:`~repro.faults.injector.FaultInjector`,
+        #: or None (the default — no fault can occur).
+        self.faults = None
 
     def delay_for(self, size: int = 0) -> float:
         """Return the one-way delay for a message of ``size`` bytes."""
@@ -59,6 +71,26 @@ class Network:
         delay = cfg.one_way_latency_ms + size / cfg.bandwidth_bytes_per_ms
         if cfg.jitter and self._rng is not None:
             delay *= 1.0 + cfg.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    # -- per-link view (fault injection only) -----------------------------
+
+    def leg_lost(self, src: int, dst: int) -> bool:
+        """Whether a message on the directed link ``src -> dst`` is lost.
+
+        Always False without an injector. With one, a blackholed link
+        loses everything and a lossy link loses each message with its
+        configured probability (drawn from the faults RNG stream).
+        """
+        if self.faults is None:
+            return False
+        return self.faults.message_lost(src, dst)
+
+    def leg_delay(self, src: int, dst: int, size: int = 0) -> float:
+        """One-way delay on a specific link, including injected delay."""
+        delay = self.delay_for(size)
+        if self.faults is not None:
+            delay += self.faults.link_extra_delay(src, dst)
         return delay
 
     def account(self, category: str, size: int) -> None:

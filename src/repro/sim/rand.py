@@ -14,6 +14,17 @@ import random
 from bisect import bisect_right
 from typing import Dict, Sequence
 
+#: Well-known stream names. Streams are derived independently from the
+#: seed (SHA-256 of ``seed:name``), so adding or removing a *consumer*
+#: of one stream never perturbs draws from any other. Fault injection
+#: relies on this: :data:`FAULTS_STREAM` feeds message-loss draws and
+#: retry-backoff jitter exclusively, so attaching a fault plan cannot
+#: shift the workload, routing, or network streams — and a run without
+#: faults never draws from it at all.
+WORKLOAD_STREAM = "workload"
+NETWORK_STREAM = "network"
+FAULTS_STREAM = "faults"
+
 
 class RandomStreams:
     """A family of independent, named PRNG streams derived from one seed."""
@@ -30,6 +41,10 @@ class RandomStreams:
             stream = random.Random(int.from_bytes(digest[:8], "big"))
             self._streams[name] = stream
         return stream
+
+    def faults(self) -> random.Random:
+        """The dedicated fault-injection stream (loss draws, backoff)."""
+        return self.stream(FAULTS_STREAM)
 
 
 class ZipfGenerator:

@@ -7,43 +7,73 @@ update transaction against its partitions *before* it drops the
 partition metadata locks, and the data site deregisters it at commit;
 a release therefore observes every transaction that was routed under
 the old mastership and quiesces before handing the partition over.
+
+Registrations are tracked as *tokens* rather than bare counts so that
+fault handling stays sound: when a routed attempt times out and is
+retried, the caller and the (possibly still-running) abandoned handler
+may both try to deregister, and token identity makes the second
+``finish`` a no-op instead of corrupting another attempt's
+registration. Callers that never race (the unfaulted protocol stack
+and the existing tests) can omit the token entirely and get the
+classic balanced begin/finish counting behavior.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from itertools import count
+from typing import Dict, List, Set, Tuple
 
 from repro.sim.core import Environment, Event
 
 
 class PartitionActivity:
-    """Counts in-flight update transactions per (site, partition)."""
+    """Tracks in-flight update transactions per (site, partition)."""
 
     def __init__(self, env: Environment):
         self.env = env
-        self._counts: Dict[Tuple[int, int], int] = {}
+        self._tokens: Dict[Tuple[int, int], Set] = {}
         self._waiters: Dict[Tuple[int, int], List[Event]] = {}
+        self._anon = count()
 
     def active(self, site: int, partition: int) -> int:
-        return self._counts.get((site, partition), 0)
+        return len(self._tokens.get((site, partition), ()))
 
-    def begin(self, site: int, partitions) -> None:
-        """Register one in-flight writer on each partition at ``site``."""
+    def begin(self, site: int, partitions, token=None):
+        """Register one in-flight writer on each partition at ``site``.
+
+        Returns the registration token (auto-generated when omitted);
+        pass the same token to :meth:`finish` to deregister exactly
+        this registration.
+        """
+        if token is None:
+            token = ("anon", next(self._anon))
+        for partition in partitions:
+            self._tokens.setdefault((site, partition), set()).add(token)
+        return token
+
+    def finish(self, site: int, partitions, token=None) -> None:
+        """Deregister a writer; wakes quiesce waiters at zero.
+
+        Without a token, removes one (arbitrary) registration per
+        partition — the classic counting behavior — and raises if none
+        exists. With a token, removal is idempotent: deregistering a
+        registration that is already gone (or was never made, because
+        the attempt died before routing registered it) is a no-op.
+        """
         for partition in partitions:
             key = (site, partition)
-            self._counts[key] = self._counts.get(key, 0) + 1
-
-    def finish(self, site: int, partitions) -> None:
-        """Deregister the writer; wakes quiesce waiters at zero."""
-        for partition in partitions:
-            key = (site, partition)
-            remaining = self._counts.get(key, 0) - 1
-            if remaining < 0:
-                raise ValueError(f"finish() without begin() for {key}")
-            if remaining:
-                self._counts[key] = remaining
+            tokens = self._tokens.get(key)
+            if token is None:
+                if not tokens:
+                    raise ValueError(f"finish() without begin() for {key}")
+                tokens.pop()
+            else:
+                if not tokens or token not in tokens:
+                    continue
+                tokens.discard(token)
+            if tokens:
                 continue
-            self._counts.pop(key, None)
+            self._tokens.pop(key, None)
             for event in self._waiters.pop(key, ()):  # wake all
                 event.succeed()
 
@@ -51,8 +81,21 @@ class PartitionActivity:
         """Event that triggers once no writer is in flight on ``partition``."""
         event = Event(self.env)
         key = (site, partition)
-        if self._counts.get(key, 0) == 0:
+        if not self._tokens.get(key):
             event.succeed()
         else:
             self._waiters.setdefault(key, []).append(event)
         return event
+
+    def clear_site(self, site: int) -> None:
+        """Drop every registration at ``site`` (it crashed) and wake waiters.
+
+        The registered transactions died with the site, so nothing will
+        ever deregister them; anyone quiescing the site's partitions
+        (an in-flight release) would otherwise wait forever.
+        """
+        keys = [key for key in self._tokens if key[0] == site]
+        for key in keys:
+            self._tokens.pop(key, None)
+            for event in self._waiters.pop(key, ()):
+                event.succeed()

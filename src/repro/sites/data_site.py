@@ -22,14 +22,16 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
+from repro.faults.errors import REASON_TIMEOUT, SiteDown, TransactionAborted
 from repro.replication.log import GRANT, RELEASE, UPDATE, DurableLog, LogRecord
 from repro.replication.manager import ReplicationManager
 from repro.sim.config import ClusterConfig
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Event
 from repro.sim.network import Network
 from repro.sim.resources import Resource
 from repro.sites.activity import PartitionActivity
 from repro.storage.database import Database
+from repro.storage.locks import LockTable
 from repro.transactions import Transaction
 from repro.versioning.vectors import VersionVector
 from repro.versioning.watch import VersionWatch
@@ -82,6 +84,32 @@ class DataSite:
         self.commits = 0
         self.read_txns = 0
 
+        # -- failure lifecycle (only exercised under fault injection) --
+        #: False between a crash and the completed restart.
+        self.alive = True
+        #: Incremented on every crash; lets late observers notice that
+        #: the machine they were talking to is a different incarnation.
+        self.epoch = 0
+        #: Pending event that triggers when this incarnation crashes.
+        #: Creating an Event schedules nothing, so keeping one around
+        #: permanently is free for unfaulted runs.
+        self.crash_event = Event(env)
+        #: RPC handler processes currently executing on this machine;
+        #: a crash interrupts them so their cleanup runs before the
+        #: volatile state is discarded.
+        self._inflight: Set = set()
+        #: (txn id, branch keys) of 2PC branches holding locks here
+        #: (between rounds). Keyed per branch, not per txn: a txn whose
+        #: units co-locate has several branches at this site, each
+        #: holding (and releasing) its own keys.
+        self._branch_locked: Set = set()
+        #: Commit vectors of decided branches, for idempotent retries.
+        self._branch_results = {}
+        #: Txn ids presumed-aborted here; poisons a still-queued branch
+        #: execution so an abandoned dispatch cannot grab locks after
+        #: the coordinator already gave up on the transaction.
+        self._branch_aborted: Set = set()
+
     # -- wiring ---------------------------------------------------------------
 
     def connect(self, sites: Sequence["DataSite"]) -> None:
@@ -89,6 +117,72 @@ class DataSite:
         for other in sites:
             if other is not self and self.replicated and other.replicated:
                 self.replication.subscribe_to(other.log)
+
+    # -- failure lifecycle ----------------------------------------------------
+
+    def track(self, proc) -> None:
+        """Register an in-flight handler process for crash interruption."""
+        self._inflight.add(proc)
+        inflight = self._inflight
+
+        def _done(_event, proc=proc):
+            inflight.discard(proc)
+
+        proc.callbacks.append(_done)
+
+    def crash(self) -> None:
+        """Fail-stop this machine (fault injection only).
+
+        Order matters: the crash event is scheduled first (so anything
+        racing a handler against it observes the crash), then every
+        in-flight handler is interrupted *synchronously* — their
+        ``finally`` blocks release locks, CPU slots, and activity
+        registrations against the pre-crash structures — and only then
+        is the volatile state discarded. The durable log survives (it
+        lives on the log service, not this machine), as does, for the
+        non-replicated comparators, the locally-durable record store.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_event.succeed()
+        for proc in list(self._inflight):
+            proc.interrupt(SiteDown(self.index))
+        self._inflight.clear()
+        self.replication.shutdown()
+        # Volatile state dies with the machine.
+        self.cpu = Resource(self.env, self.config.cores_per_site)
+        self._branch_locked.clear()
+        self._branch_results.clear()
+        self._branch_aborted.clear()
+        if self.replicated:
+            # In-memory MVCC store: rebuilt from the durable logs on
+            # restart (paper §V-C).
+            self.database = Database(self.env, max_versions=self.config.max_versions)
+            self.svv = VersionVector.zeros(self.num_sites)
+            self.watch = VersionWatch(self.env, self.svv)
+            self.mastered = set()
+        else:
+            # Partition-store / LEAP model a locally durable store:
+            # record state survives; the lock table is volatile.
+            self.database.locks = LockTable(self.env)
+        self.activity.clear_site(self.index)
+        self.epoch += 1
+
+    def complete_restart(self, database, svv, mastered) -> None:
+        """Install recovered state and come back online.
+
+        Called by :func:`repro.replication.recovery.rejoin_site` after
+        the (CPU-charged) log replay finished; the caller re-subscribes
+        the replication manager from ``svv`` afterwards.
+        """
+        self.database = database
+        self.svv = svv
+        self.watch = VersionWatch(self.env, svv)
+        self.mastered = set(mastered)
+        self.commits = sum(1 for record in self.log.records if record.kind == UPDATE)
+        self.crash_event = Event(self.env)
+        self.alive = True
 
     # -- local transaction execution ---------------------------------------
 
@@ -98,16 +192,19 @@ class DataSite:
         min_begin: Optional[VersionVector] = None,
         partitions: Iterable[int] = (),
         verify_mastership: bool = False,
+        token=None,
     ):
         """Execute and commit an update transaction locally.
 
         ``min_begin`` is the minimum version the transaction must
         observe (the element-wise max of grant vectors and the client's
         session vector). ``partitions`` are the write-set partitions
-        for activity deregistration at commit. With
-        ``verify_mastership`` (the distributed site-selector of
-        Appendix I), the site aborts — returns None — if it no longer
-        masters a write-set partition.
+        for activity deregistration at commit, and ``token`` the
+        activity registration to deregister (fault-aware routers pass
+        a per-attempt token so a retried transaction cannot clobber
+        another attempt's registration). With ``verify_mastership``
+        (the distributed site-selector of Appendix I), the site aborts
+        — returns None — if it no longer masters a write-set partition.
 
         Returns the transaction version vector (commit timestamp).
         """
@@ -117,7 +214,7 @@ class DataSite:
         tracer = env.obs.tracer
         track = f"site{self.index}"
         if verify_mastership and any(p not in self.mastered for p in partitions):
-            self.activity.finish(self.index, partitions)
+            self.activity.finish(self.index, partitions, token)
             tracer.instant("mastership_miss", env.now, track=track, txn=txn)
             return None
         started = env.now
@@ -155,7 +252,7 @@ class DataSite:
         finally:
             self.database.locks.release_all(txn.write_set)
             if partitions:
-                self.activity.finish(self.index, partitions)
+                self.activity.finish(self.index, partitions, token)
         return tvv
 
     def _commit(self, txn: Transaction, begin_vv: VersionVector) -> VersionVector:
@@ -217,12 +314,24 @@ class DataSite:
         site's version vector (the increment the SI proof relies on),
         durably logs the release, and returns the site version vector
         at the release point.
+
+        Under fault injection a retried release may name partitions
+        this site already let go of (the first attempt's reply was
+        lost); those are skipped rather than rejected, and if nothing
+        is left to release the current site vector — which necessarily
+        covers the earlier release point — is returned without a new
+        marker.
         """
-        for partition in partitions:
-            if partition not in self.mastered:
-                raise MastershipError(
-                    f"site {self.index} asked to release unmastered partition {partition}"
-                )
+        if self.network.faults is not None:
+            partitions = [p for p in partitions if p in self.mastered]
+            if not partitions:
+                return self.svv.copy()
+        else:
+            for partition in partitions:
+                if partition not in self.mastered:
+                    raise MastershipError(
+                        f"site {self.index} asked to release unmastered partition {partition}"
+                    )
         quiesce_started = self.env.now
         quiesce = [self.activity.quiesced(self.index, p) for p in partitions]
         yield self.env.all_of(quiesce)
@@ -331,6 +440,15 @@ class DataSite:
         tracer.span("freshness_wait", started, self.env.now, track=track, txn=txn)
         lock_started = self.env.now
         yield from self.database.locks.acquire_all(keys)
+        if self.network.faults is not None and txn.txn_id in self._branch_aborted:
+            # The coordinator presumed-aborted this transaction while
+            # the branch was still queued; grabbing the locks now would
+            # leak them forever.
+            self.database.locks.release_all(keys)
+            raise TransactionAborted(
+                REASON_TIMEOUT, f"branch of {txn.txn_id} aborted before execution"
+            )
+        self._branch_locked.add((txn.txn_id, keys))
         txn.add_timing("lock_wait", self.env.now - lock_started)
         tracer.span("lock_wait", lock_started, self.env.now, track=track, txn=txn)
         execute_started = self.env.now
@@ -357,7 +475,19 @@ class DataSite:
         return True
 
     def commit_branch(self, txn: Transaction, keys: Tuple, begin_vv: VersionVector):
-        """Apply the global commit decision for this site's branch."""
+        """Apply the global commit decision for this site's branch.
+
+        Under fault injection the decision may be retried (the reply
+        can be lost): a branch already committed returns its cached
+        commit vector, and a branch lost in a crash returns None — the
+        coordinator treats that as a lost branch, never as a redo.
+        """
+        if self.network.faults is not None:
+            cached = self._branch_results.get((txn.txn_id, keys))
+            if cached is not None:
+                return cached
+            if (txn.txn_id, keys) not in self._branch_locked:
+                return None
         branch_started = self.env.now
         yield from self.cpu.use(self.config.costs.decide_ms + self.config.costs.txn_commit_ms)
         seq = self.svv.increment(self.index)
@@ -368,6 +498,9 @@ class DataSite:
         self.log.append(LogRecord(UPDATE, self.index, tvv.to_tuple(), writes))
         self.commits += 1
         self.watch.notify()
+        self._branch_locked.discard((txn.txn_id, keys))
+        if self.network.faults is not None:
+            self._branch_results[(txn.txn_id, keys)] = tvv
         self.database.locks.release_all(keys)
         self.env.obs.tracer.span(
             "branch_commit", branch_started, self.env.now,
@@ -376,8 +509,18 @@ class DataSite:
         return tvv
 
     def abort_branch(self, txn: Transaction, keys: Tuple):
-        """Apply a global abort: release locks without installing."""
+        """Apply a global abort: release locks without installing.
+
+        Idempotent under fault injection: aborting a branch that never
+        executed here (or was already decided, or died with a crash)
+        is a no-op, so a coordinator can blanket-abort all branches.
+        """
+        if self.network.faults is not None:
+            self._branch_aborted.add(txn.txn_id)
+            if (txn.txn_id, keys) not in self._branch_locked:
+                return
         yield from self.cpu.use(self.config.costs.decide_ms)
+        self._branch_locked.discard((txn.txn_id, keys))
         self.database.locks.release_all(keys)
 
     # -- data shipping (LEAP comparator) -------------------------------------

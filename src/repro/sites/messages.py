@@ -6,12 +6,21 @@ handler runs using the *destination's* resources (its CPU, locks,
 version watch), and the reply traverses the network back. The handler
 executes inside the caller's simulated process, which is semantically
 equivalent for timing purposes and keeps the call structure direct.
+
+:func:`guarded_call` is the fault-aware variant: the handler runs in
+its own tracked process on the destination (so a crash can interrupt
+it), the caller races it against an RPC timeout and the destination's
+crash, and per-link loss/partition/delay from the installed fault
+injector applies to both legs. Without an injector it delegates to
+:func:`remote_call`, byte- and event-identical to the legacy path.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.faults.errors import FaultError, RpcTimeout, SiteDown
+from repro.faults.plan import FRONTEND
 from repro.sim.network import Network
 from repro.transactions import Transaction
 
@@ -49,3 +58,168 @@ def remote_call(
         tracer.span("network", response_started, env.now,
                     track="net", txn=txn, category=category)
     return result
+
+
+class _Box:
+    """Out-of-band result slot for a handler run in its own process."""
+
+    __slots__ = ("result", "exc")
+
+    def __init__(self):
+        self.result = None
+        self.exc = None
+
+
+def _run_boxed(handler: Generator, box: _Box):
+    """Drive ``handler``, parking its outcome in ``box``.
+
+    Injected failures (a crash interrupt) are absorbed so the wrapping
+    process always *succeeds* — a failed process that nobody awaits
+    (its caller timed out and moved on) would otherwise surface as an
+    unhandled simulation error. Genuine bugs still propagate.
+    """
+    try:
+        box.result = yield from handler
+    except FaultError as exc:
+        box.exc = exc
+
+
+def site_process(site, handler: Generator):
+    """Run ``handler`` as a tracked process on ``site``, crash-raced.
+
+    For work a protocol executes *at* a site outside any RPC (a 2PC
+    coordinator's own branch and decision logic): if the site crashes
+    mid-way the handler is interrupted and the caller sees
+    :class:`SiteDown`. Usage: ``x = yield from site_process(site, gen)``.
+    """
+    if not site.alive:
+        raise SiteDown(site.index)
+    env = site.env
+    box = _Box()
+    proc = env.process(_run_boxed(handler, box))
+    site.track(proc)
+    crash = site.crash_event
+    yield env.any_of([proc, crash])
+    if proc.triggered:
+        if box.exc is not None:
+            raise box.exc
+        return box.result
+    raise SiteDown(site.index)
+
+
+def guarded_call(
+    network: Network,
+    site,
+    handler: Generator,
+    src: int = FRONTEND,
+    request_size: int = 64,
+    response_size: int = 64,
+    category: str = "rpc",
+    txn: Optional[Transaction] = None,
+    timeout_ms: Optional[float] = None,
+) -> Generator:
+    """Fault-aware remote call to ``site``.
+
+    Semantics when a fault injector is installed:
+
+    * the request leg can be lost or partitioned away — the caller
+      learns nothing until the timeout fires
+      (``RpcTimeout(dispatched=False)``: the handler never started,
+      the caller owns all cleanup);
+    * arrival at a dead site is refused — :class:`SiteDown` after one
+      round trip (connection reset), at-least-once dispatch never
+      happened;
+    * the handler runs in its own process on the destination, so the
+      destination's crash interrupts it (its ``finally`` blocks run)
+      and the caller gets :class:`SiteDown`;
+    * a slow handler or a lost response leg yields
+      ``RpcTimeout(dispatched=True)``: the handler did (or still may)
+      run to completion on the live destination, so idempotency /
+      cleanup there is the *handler's* responsibility, not the
+      caller's.
+
+    Every outcome is reported to the injector's failure detector.
+    Without an injector this is exactly :func:`remote_call`.
+    """
+    faults = network.faults
+    if faults is None:
+        result = yield from remote_call(
+            network, handler,
+            request_size=request_size, response_size=response_size,
+            category=category, txn=txn,
+        )
+        return result
+    env = network.env
+    dst = site.index
+    budget = timeout_ms if timeout_ms is not None else faults.rpc.timeout_ms
+    started = env.now
+
+    def _timed_out(dispatched):
+        remaining = budget - (env.now - started)
+        faults.detector.report_timeout(dst)
+        return RpcTimeout(
+            f"rpc to site {dst} timed out after {budget}ms", dispatched=dispatched
+        ), max(0.0, remaining)
+
+    # Request leg.
+    network.account(category, request_size)
+    if network.leg_lost(src, dst):
+        exc, remaining = _timed_out(dispatched=False)
+        yield env.timeout(remaining)
+        raise exc
+    yield env.timeout(network.leg_delay(src, dst, request_size))
+    if not site.alive:
+        # Connection refused: the reset travels the reverse leg (and
+        # can itself be lost, which then looks like a timeout).
+        if network.leg_lost(dst, src):
+            exc, remaining = _timed_out(dispatched=False)
+            yield env.timeout(remaining)
+            raise exc
+        yield env.timeout(network.leg_delay(dst, src))
+        faults.detector.report_down(dst)
+        raise SiteDown(dst)
+
+    # Dispatch: the handler runs on the destination, raced against the
+    # caller's timeout and the destination's crash.
+    box = _Box()
+    proc = env.process(_run_boxed(handler, box))
+    site.track(proc)
+    crash = site.crash_event
+    deadline = env.timeout(max(0.0, budget - (env.now - started)))
+    yield env.any_of([proc, deadline, crash])
+    if proc.triggered and box.exc is not None:
+        faults.detector.report_down(dst)
+        raise box.exc
+    if proc.triggered:
+        # Response leg.
+        network.account(category, response_size)
+        if network.leg_lost(dst, src):
+            exc, remaining = _timed_out(dispatched=True)
+            yield env.timeout(remaining)
+            raise exc
+        yield env.timeout(network.leg_delay(dst, src, response_size))
+        faults.detector.report_success(dst)
+        return box.result
+    if crash.triggered:
+        faults.detector.report_down(dst)
+        raise SiteDown(dst)
+    exc, _ = _timed_out(dispatched=True)
+    raise exc
+
+
+class RetryPolicy:
+    """Bounded retries with seeded, jittered exponential backoff."""
+
+    def __init__(self, rpc, rng):
+        self.rpc = rpc
+        self._rng = rng
+
+    @property
+    def attempts(self) -> int:
+        """Total tries: the first attempt plus ``max_retries`` retries."""
+        return self.rpc.max_retries + 1
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered ±50%."""
+        base = min(self.rpc.backoff_cap_ms, self.rpc.backoff_base_ms * (2.0 ** attempt))
+        return base * (0.5 + self._rng.random())

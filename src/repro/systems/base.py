@@ -38,6 +38,9 @@ class Cluster:
             self.env, self.config.network, rng=self.streams.stream("network")
         )
         self.activity = PartitionActivity(self.env)
+        #: The installed fault injector, or None. Routers consult this
+        #: for suspicion state; None means the legacy (infallible) path.
+        self.faults = None
         self.sites: List[DataSite] = [
             DataSite(
                 self.env,
@@ -153,12 +156,29 @@ class System(ABC):
         spreading read load. If no site is fresh enough yet, pick the
         site with the smallest lag; the read then blocks briefly at
         that site.
+
+        Under fault injection, crashed and suspected sites are routed
+        around (falling back to merely-alive sites if suspicion covers
+        everything).
         """
+        faults = self.cluster.faults
+        if faults is None:
+            candidates = self.sites
+        else:
+            detector = faults.detector
+            candidates = [
+                site for site in self.sites
+                if site.alive and not detector.is_suspected(site.index)
+            ]
+            if not candidates:
+                candidates = [site for site in self.sites if site.alive]
+            if not candidates:
+                candidates = self.sites
         fresh = [
-            site.index for site in self.sites if site.svv.dominates(session.cvv)
+            site.index for site in candidates if site.svv.dominates(session.cvv)
         ]
         if fresh:
             return fresh[rng.randrange(len(fresh))]
         return min(
-            self.sites, key=lambda site: site.svv.lag_behind(session.cvv)
+            candidates, key=lambda site: site.svv.lag_behind(session.cvv)
         ).index

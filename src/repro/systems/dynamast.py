@@ -7,8 +7,9 @@ from typing import Dict, Optional
 from repro.core.site_selector import SiteSelector
 from repro.core.statistics import StatisticsConfig
 from repro.core.strategy import StrategyWeights
+from repro.faults.errors import FaultError, RpcTimeout, TransactionAborted
 from repro.partitioning.schemes import PartitionScheme
-from repro.sites.messages import remote_call
+from repro.sites.messages import RetryPolicy, guarded_call, remote_call
 from repro.systems.base import Cluster, Session, System
 from repro.transactions import Outcome, Transaction
 
@@ -43,6 +44,9 @@ class DynaMast(System):
         self.selector = SiteSelector(cluster, scheme, placement, weights, stats_config)
 
     def submit(self, txn: Transaction, session: Session):
+        if self.cluster.faults is not None:
+            outcome = yield from self._submit_faulted(txn, session)
+            return outcome
         yield from self.client_hop(txn)  # client -> site selector
 
         if txn.is_read_only:
@@ -70,3 +74,87 @@ class DynaMast(System):
         )
         session.observe(tvv)
         return Outcome(committed=True, remastered=route.remastered)
+
+    def _submit_faulted(self, txn: Transaction, session: Session):
+        """Fault-aware submission: guarded RPCs, bounded retries.
+
+        Each attempt re-routes from scratch, so a retry naturally lands
+        on a surviving (or newly restarted) site. A lost-reply timeout
+        after dispatch re-executes the transaction — at-least-once
+        semantics; every execution is replicated consistently, so
+        replicas still converge (see DESIGN.md, Fault model).
+        """
+        faults = self.cluster.faults
+        policy = RetryPolicy(faults.rpc, faults.rng)
+        yield from self.client_hop(txn)  # client -> site selector
+
+        if txn.is_read_only:
+            for attempt in range(policy.attempts):
+                site_index = yield from self.selector.route_read(txn, session)
+                yield from self.client_hop(txn)  # selector -> client
+                site = self.sites[site_index]
+                try:
+                    begin = yield from guarded_call(
+                        self.network,
+                        site,
+                        site.execute_read(txn, min_begin=session.cvv),
+                        category="client",
+                        txn=txn,
+                    )
+                except FaultError as exc:
+                    if attempt + 1 >= policy.attempts:
+                        return Outcome(
+                            committed=False, retries=attempt, abort_reason=exc.reason
+                        )
+                    yield self.env.timeout(policy.backoff_ms(attempt))
+                    continue
+                session.observe(begin)
+                return Outcome(committed=True, retries=attempt)
+
+        remastered = False
+        for attempt in range(policy.attempts):
+            try:
+                route = yield from self.selector.route_update(txn, session)
+            except TransactionAborted as exc:
+                return Outcome(
+                    committed=False, retries=attempt, abort_reason=exc.reason
+                )
+            remastered = remastered or route.remastered
+            yield from self.client_hop(txn)  # selector -> client (site + version)
+            min_vv = (
+                session.cvv
+                if route.min_vv is None
+                else route.min_vv.element_max(session.cvv)
+            )
+            site = self.sites[route.site]
+            try:
+                tvv = yield from guarded_call(
+                    self.network,
+                    site,
+                    site.execute_update(
+                        txn, min_vv, partitions=route.partitions, token=route.token
+                    ),
+                    category="client",
+                    txn=txn,
+                )
+            except FaultError as exc:
+                if not (isinstance(exc, RpcTimeout) and exc.dispatched):
+                    # The handler never started (lost request, refused
+                    # at a dead site, or interrupted with its cleanup
+                    # run): deregister our routing. With a dispatched
+                    # timeout the live handler owns its own finally.
+                    self.cluster.activity.finish(
+                        route.site, route.partitions, route.token
+                    )
+                if attempt + 1 >= policy.attempts:
+                    return Outcome(
+                        committed=False,
+                        retries=attempt,
+                        remastered=remastered,
+                        abort_reason=exc.reason,
+                    )
+                yield self.env.timeout(policy.backoff_ms(attempt))
+                continue
+            session.observe(tvv)
+            return Outcome(committed=True, remastered=remastered, retries=attempt)
+        raise AssertionError("unreachable: retry loop always returns")

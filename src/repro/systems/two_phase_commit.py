@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.sites.messages import remote_call
+from repro.faults.errors import (
+    FaultError,
+    RpcTimeout,
+    SiteDown,
+    TransactionAborted,
+)
+from repro.sites.messages import RetryPolicy, guarded_call, remote_call, site_process
 from repro.transactions import Key, Outcome, Transaction
 from repro.versioning.vectors import VersionVector
 
@@ -44,6 +50,9 @@ def two_phase_commit(
     Generator returning the element-wise max of the branch commit
     vectors (the version a session must observe).
     """
+    if system.cluster.faults is not None:
+        merged = yield from _two_phase_commit_faulted(system, txn, branches, min_begin)
+        return merged
     env = system.env
     obs = env.obs
     tracer = obs.tracer
@@ -127,6 +136,178 @@ def two_phase_commit(
     return merged
 
 
+def _two_phase_commit_faulted(
+    system,
+    txn: Transaction,
+    branches: Dict[int, Tuple[Key, ...]],
+    min_begin: Optional[VersionVector],
+):
+    """Presumed-abort 2PC: the termination protocol under faults.
+
+    The coordinator's own work runs as a crash-raced process on the
+    coordinator machine; remote branches go over guarded RPCs sourced
+    at the coordinator. Any failure before the commit decision is
+    durably taken (end of round 2) terminates by *presumed abort*:
+    every branch that may hold locks is aborted, persistently until
+    the abort lands or the branch's site is dead (whose lock table died
+    with it). After the decision, commits are delivered persistently;
+    a branch whose participant crashed in the uncertainty window is
+    lost — never redone — which is the documented price of presumed
+    abort without a coordinator redo log (DESIGN.md, Fault model).
+
+    Rounds run sequentially per branch (no parallel fan-out): a failed
+    branch must stop dispatching later rounds, and sequential guarded
+    calls keep the failure handling exact. Faulted runs trade a little
+    latency for that; unfaulted runs never come through here.
+    """
+    env = system.env
+    obs = env.obs
+    faults = system.cluster.faults
+    sites = system.sites
+    items = sorted(branches.items(), key=lambda item: (-len(item[1]), item[0]))
+    placement = system.placement
+    coordinator = placement[items[0][0]]
+    coord_site = sites[coordinator]
+    policy = RetryPolicy(faults.rpc, faults.rng)
+    if obs.enabled:
+        obs.registry.gauge("2pc_inflight").inc()
+        obs.registry.counter("2pc_started").inc()
+
+    yield from system.client_hop(txn)
+    coordinate = system.config.costs.coordinate_ms * len(items)
+    #: Branches that may hold locks and need aborting on failure.
+    touched: List[Tuple[int, Tuple[Key, ...]]] = []
+
+    def _call(site_index, handler):
+        """One guarded branch call (local branches are crash-raced only)."""
+        if site_index == coordinator:
+            return site_process(sites[site_index], handler)
+        return guarded_call(
+            system.network,
+            sites[site_index],
+            handler,
+            src=coordinator,
+            category="2pc",
+            txn=txn,
+        )
+
+    try:
+        # Round 1: branch execution, global unit order (deadlock-free).
+        yield from site_process(coord_site, coord_site.cpu.use(coordinate))
+        by_unit: Dict[int, VersionVector] = {}
+        for unit, keys in sorted(items):
+            site_index = placement[unit]
+            try:
+                begin_vv = yield from _call(
+                    site_index, sites[site_index].execute_branch(txn, keys, min_begin)
+                )
+            except RpcTimeout as exc:
+                if exc.dispatched:
+                    # The branch may still acquire locks at the live
+                    # site; it must be aborted like an executed one.
+                    touched.append((site_index, keys))
+                raise
+            touched.append((site_index, keys))
+            by_unit[unit] = begin_vv
+        begin_vvs = [by_unit[unit] for unit, _ in items]
+
+        # Round 2: prepare votes, bounded retries (prepare is idempotent).
+        yield from site_process(coord_site, coord_site.cpu.use(coordinate))
+        for unit, keys in items:
+            site_index = placement[unit]
+            failures = 0
+            while True:
+                try:
+                    yield from _call(
+                        site_index, sites[site_index].prepare_branch(txn, keys)
+                    )
+                    break
+                except RpcTimeout:
+                    failures += 1
+                    if failures >= policy.attempts:
+                        raise
+                    yield env.timeout(policy.backoff_ms(failures - 1))
+    except FaultError as exc:
+        yield from _abort_branches(system, txn, touched, coordinator)
+        yield from system.client_hop(txn)
+        if obs.enabled:
+            obs.registry.gauge("2pc_inflight").dec()
+        raise TransactionAborted(exc.reason, f"2pc presumed abort: {exc}")
+
+    # Commit point: every vote is in and the decision is (modeled as)
+    # force-logged. From here the decision is delivered persistently.
+    merged = VersionVector.zeros(len(sites[0].svv))
+    try:
+        yield from site_process(coord_site, coord_site.cpu.use(coordinate))
+    except SiteDown:
+        # Coordinator crashed after logging the decision; delivery
+        # continues below (participants would learn it from the
+        # recovered coordinator's log).
+        pass
+    for index, (unit, keys) in enumerate(items):
+        site_index = placement[unit]
+        failures = 0
+        while True:
+            try:
+                commit_vv = yield from _call(
+                    site_index,
+                    sites[site_index].commit_branch(txn, keys, begin_vvs[index]),
+                )
+                break
+            except SiteDown:
+                # Participant died in the uncertainty window: its
+                # branch (volatile locks, undecided writes) is lost.
+                commit_vv = None
+                break
+            except RpcTimeout:
+                failures += 1
+                yield env.timeout(policy.backoff_ms(min(failures - 1, 8)))
+        if commit_vv is not None:
+            merged = merged.element_max(commit_vv)
+
+    yield from system.client_hop(txn)
+    if obs.enabled:
+        obs.registry.gauge("2pc_inflight").dec()
+    return merged
+
+
+def _abort_branches(system, txn, touched, coordinator):
+    """Deliver the presumed-abort decision to every touched branch.
+
+    Persistent per branch: an undelivered abort would leak that
+    branch's locks forever and stall every conflicting transaction.
+    Terminates because link faults are finite, loss is < 1, and a dead
+    site's locks died with it (abort skipped).
+    """
+    env = system.env
+    faults = system.cluster.faults
+    policy = RetryPolicy(faults.rpc, faults.rng)
+    for site_index, keys in touched:
+        failures = 0
+        while True:
+            site = system.sites[site_index]
+            if not site.alive:
+                break
+            try:
+                if site_index == coordinator:
+                    yield from site_process(site, site.abort_branch(txn, keys))
+                else:
+                    yield from guarded_call(
+                        system.network,
+                        site,
+                        site.abort_branch(txn, keys),
+                        src=coordinator,
+                        category="2pc",
+                        txn=txn,
+                    )
+                break
+            except SiteDown:
+                break
+            except RpcTimeout:
+                failures += 1
+                yield env.timeout(policy.backoff_ms(min(failures - 1, 8)))
+
+
 def submit_partitioned_write(system, txn: Transaction, session, min_begin):
     """Shared write path of the fixed-mastership systems.
 
@@ -135,20 +316,47 @@ def submit_partitioned_write(system, txn: Transaction, session, min_begin):
     returning an :class:`Outcome`.
     """
     branches = group_writes_by_unit(system, txn)
+    faults = system.cluster.faults
 
     if len(branches) == 1:
         unit = next(iter(branches))
         site_index = system.placement[unit]
         yield from system.client_hop(txn)  # router -> client (site choice)
-        tvv = yield from remote_call(
-            system.network,
-            system.sites[site_index].execute_update(txn, min_begin),
-            category="client",
-            txn=txn,
-        )
-        session.observe(tvv)
-        return Outcome(committed=True)
+        if faults is None:
+            tvv = yield from remote_call(
+                system.network,
+                system.sites[site_index].execute_update(txn, min_begin),
+                category="client",
+                txn=txn,
+            )
+            session.observe(tvv)
+            return Outcome(committed=True)
+        # Fixed mastership has no failover: retry the unit's master a
+        # bounded number of times, then abort.
+        policy = RetryPolicy(faults.rpc, faults.rng)
+        site = system.sites[site_index]
+        for attempt in range(policy.attempts):
+            try:
+                tvv = yield from guarded_call(
+                    system.network,
+                    site,
+                    site.execute_update(txn, min_begin),
+                    category="client",
+                    txn=txn,
+                )
+            except FaultError as exc:
+                if attempt + 1 >= policy.attempts:
+                    return Outcome(
+                        committed=False, retries=attempt, abort_reason=exc.reason
+                    )
+                yield system.env.timeout(policy.backoff_ms(attempt))
+                continue
+            session.observe(tvv)
+            return Outcome(committed=True, retries=attempt)
 
-    tvv = yield from two_phase_commit(system, txn, branches, min_begin)
+    try:
+        tvv = yield from two_phase_commit(system, txn, branches, min_begin)
+    except TransactionAborted as exc:
+        return Outcome(committed=False, distributed=True, abort_reason=exc.reason)
     session.observe(tvv)
     return Outcome(committed=True, distributed=True)

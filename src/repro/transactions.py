@@ -63,3 +63,6 @@ class Outcome:
     distributed: bool = False
     #: Number of times the transaction was aborted and retried.
     retries: int = 0
+    #: Why a non-committed transaction gave up: "conflict" (the legacy
+    #: optimistic-routing abort), "timeout", or "site_crash".
+    abort_reason: str = ""

@@ -69,3 +69,23 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "new_order" in output
+
+
+class TestChaosCommand:
+    def test_chaos_command(self, capsys, tmp_path):
+        out = tmp_path / "timeline.csv"
+        code = main([
+            "chaos", "--system", "dynamast", "--scenario", "crash-restart",
+            "--duration", "900", "--bucket", "300", "--clients", "4",
+            "--out", str(out),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "chaos: dynamast under crash-restart" in output
+        assert "crash site1" in output
+        assert "restart site1" in output
+        assert out.read_text().startswith("start_ms,commits_per_s")
+
+    def test_chaos_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--scenario", "bogus"])

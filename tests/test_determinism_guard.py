@@ -116,3 +116,15 @@ class TestDeterminismGuard:
 
     def test_exempt_wrapper_exists(self):
         assert (SRC / "sim" / "rand.py").exists()
+
+    def test_faults_package_is_scanned(self):
+        """The fault subsystem must stay under the determinism contract
+        (its loss draws come from the seeded faults stream, never from
+        global random state) — ensure no exemption sneaks it out of the
+        scanned set."""
+        scanned = {str(path.relative_to(SRC)) for path in repro_sources()}
+        for module in ("plan.py", "injector.py", "detector.py",
+                       "errors.py", "chaos.py"):
+            assert f"faults/{module}" in scanned, (
+                f"faults/{module} escaped the determinism guard"
+            )

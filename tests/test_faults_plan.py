@@ -1,0 +1,129 @@
+"""FaultPlan validation and the named chaos scenarios."""
+
+import pytest
+
+from repro.faults import (
+    FRONTEND,
+    SCENARIOS,
+    CrashFault,
+    FaultPlan,
+    LinkFault,
+    build_scenario,
+    partition_site,
+)
+
+
+class TestPlanValidation:
+    def test_empty_plan_is_valid_and_empty(self):
+        plan = FaultPlan()
+        plan.validate(num_sites=3)
+        assert plan.empty
+
+    def test_valid_plan_passes(self):
+        plan = FaultPlan(
+            crashes=(CrashFault(1, at_ms=100.0, restart_at_ms=500.0),),
+            links=(LinkFault(0, 2, 50.0, 250.0, loss=0.3),),
+        )
+        plan.validate(num_sites=3)
+        assert not plan.empty
+
+    def test_crash_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown site"):
+            FaultPlan(crashes=(CrashFault(5, at_ms=10.0),)).validate(3)
+
+    def test_duplicate_crash_site_rejected(self):
+        plan = FaultPlan(crashes=(
+            CrashFault(1, at_ms=10.0, restart_at_ms=20.0),
+            CrashFault(1, at_ms=30.0),
+        ))
+        with pytest.raises(ValueError, match="more than one"):
+            plan.validate(3)
+
+    def test_restart_must_follow_crash(self):
+        plan = FaultPlan(crashes=(CrashFault(0, at_ms=100.0, restart_at_ms=100.0),))
+        with pytest.raises(ValueError, match="not after"):
+            plan.validate(3)
+
+    def test_crashing_every_site_rejected(self):
+        plan = FaultPlan(crashes=(
+            CrashFault(0, at_ms=10.0),
+            CrashFault(1, at_ms=20.0),
+        ))
+        with pytest.raises(ValueError, match="every site"):
+            plan.validate(2)
+
+    def test_link_self_loop_rejected(self):
+        plan = FaultPlan(links=(LinkFault(1, 1, 0.0, 10.0, drop=True),))
+        with pytest.raises(ValueError, match="self-loop"):
+            plan.validate(3)
+
+    def test_link_unknown_site_rejected(self):
+        plan = FaultPlan(links=(LinkFault(0, 7, 0.0, 10.0, drop=True),))
+        with pytest.raises(ValueError, match="unknown site"):
+            plan.validate(3)
+
+    def test_total_loss_requires_drop(self):
+        plan = FaultPlan(links=(LinkFault(0, 1, 0.0, 10.0, loss=1.0),))
+        with pytest.raises(ValueError, match="drop=True"):
+            plan.validate(3)
+
+    def test_permanent_partition_rejected(self):
+        plan = FaultPlan(links=(
+            LinkFault(0, 1, 0.0, float("inf"), drop=True),
+        ))
+        with pytest.raises(ValueError, match="must end"):
+            plan.validate(3)
+
+    def test_empty_interval_rejected(self):
+        plan = FaultPlan(links=(LinkFault(0, 1, 10.0, 10.0, drop=True),))
+        with pytest.raises(ValueError, match="empty"):
+            plan.validate(3)
+
+    def test_negative_extra_delay_rejected(self):
+        plan = FaultPlan(links=(LinkFault(0, 1, 0.0, 10.0, extra_delay_ms=-1.0),))
+        with pytest.raises(ValueError, match="negative"):
+            plan.validate(3)
+
+
+class TestPartitionSugar:
+    def test_partition_site_cuts_both_directions(self):
+        links = partition_site(1, 100.0, 200.0, num_sites=3)
+        pairs = {(link.src, link.dst) for link in links}
+        assert pairs == {
+            (1, 0), (0, 1), (1, 2), (2, 1), (1, FRONTEND), (FRONTEND, 1),
+        }
+        assert all(link.drop for link in links)
+        assert all(link.start_ms == 100.0 and link.end_ms == 200.0 for link in links)
+
+    def test_partition_site_without_frontend(self):
+        links = partition_site(0, 0.0, 10.0, num_sites=2, include_frontend=False)
+        assert {(link.src, link.dst) for link in links} == {(0, 1), (1, 0)}
+
+    def test_link_fault_active_window(self):
+        link = LinkFault(0, 1, 100.0, 200.0, drop=True)
+        assert not link.active_at(99.9)
+        assert link.active_at(100.0)
+        assert link.active_at(199.9)
+        assert not link.active_at(200.0)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_every_named_scenario_validates(self, name):
+        plan = build_scenario(name, num_sites=3, duration_ms=3000.0)
+        plan.validate(3)
+        assert not plan.empty
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("meteor-strike", num_sites=3, duration_ms=1000.0)
+
+    def test_scenarios_need_two_sites(self):
+        with pytest.raises(ValueError, match="two sites"):
+            build_scenario("crash", num_sites=1, duration_ms=1000.0)
+
+    def test_crash_restart_outage_is_bounded(self):
+        plan = build_scenario("crash-restart", num_sites=3, duration_ms=3000.0)
+        (crash,) = plan.crashes
+        assert crash.restart_at_ms is not None
+        assert crash.at_ms < crash.restart_at_ms <= 3000.0
