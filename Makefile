@@ -1,6 +1,6 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test lint bench examples quick chaos clean
+.PHONY: install test lint bench examples quick chaos perf perf-check clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -37,6 +37,16 @@ chaos:
 	python -m repro chaos --system multi-master --scenario partition --duration 2000 --clients 8
 	python -m repro chaos --system partition-store --scenario lossy --duration 2000 --clients 8
 	python -m repro chaos --system leap --scenario crash-restart --duration 2000 --clients 8
+
+# Full perf matrix; refreshes BENCH_perf.json (see DESIGN.md §8).
+perf:
+	python -m repro perf
+
+# Quick regression gate against the committed BENCH_perf.json: the
+# three-case subset, nonzero exit if any case is >15% slower after
+# calibration-normalizing for host speed.
+perf-check:
+	python -m repro perf --check --quick
 
 clean:
 	rm -rf .pytest_cache build *.egg-info src/*.egg-info

@@ -1,6 +1,18 @@
-"""Assemble and drive one benchmark run."""
+"""Assemble and drive one benchmark run.
+
+This module is one of the two blessed wall-clock readers in
+``src/repro`` (the other is :mod:`repro.bench.perf`): host time is
+forbidden inside simulation code — the simulated clock is ``env.now`` —
+but the harness must measure how long the host took to execute a run.
+The measurements live on :class:`RunResult` as ``wall_clock_s`` and
+``events_processed`` and are never fed back into the simulation, so
+they cannot perturb simulated results (the fingerprint tests exclude
+them by construction).
+"""
 
 from __future__ import annotations
+
+import time
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -57,6 +69,14 @@ class RunResult:
     obs: Optional[Observability] = field(repr=False, default=None)
     #: The live system object, for deeper inspection in tests/benches.
     system: Optional[System] = field(repr=False, default=None)
+    #: Host seconds spent inside :func:`run_benchmark` (setup + run).
+    #: Host-side only: excluded from fingerprints, varies per machine.
+    wall_clock_s: float = 0.0
+    #: Kernel events processed during the run (deterministic for a
+    #: given build, but an implementation detail — delivery batching
+    #: may change it without changing simulated results, so it is also
+    #: excluded from fingerprints).
+    events_processed: int = 0
 
     def latency(self, txn_type: Optional[str] = None) -> LatencySummary:
         return self.metrics.latency(txn_type)
@@ -100,6 +120,7 @@ def run_benchmark(
     """
     if system_name not in ALL_SYSTEMS:
         raise ValueError(f"unknown system {system_name!r}; expected one of {ALL_SYSTEMS}")
+    wall_start = time.perf_counter()
     observability = obs if obs is not None else NULL_OBS
     config = cluster_config or ClusterConfig()
     if seed:
@@ -148,6 +169,7 @@ def run_benchmark(
         cluster.env.process(_fire_event(cluster.env, when, fn, system, workload))
 
     cluster.env.run(until=duration_ms)
+    wall_clock_s = time.perf_counter() - wall_start
 
     window = duration_ms - warmup_ms
     selector = getattr(system, "selector", None)
@@ -171,6 +193,8 @@ def run_benchmark(
         timelines=dict(observability.timelines) if observability.enabled else {},
         obs=obs,
         system=system,
+        wall_clock_s=wall_clock_s,
+        events_processed=cluster.env.events_processed,
     )
 
 

@@ -1,0 +1,359 @@
+"""Wall-clock performance regression harness (``repro perf``).
+
+Runs a pinned matrix of (system x workload x scale) configurations on
+the real benchmark harness, measures *host* cost — wall-clock seconds,
+simulated-events per host second, peak RSS — and writes the results to
+``BENCH_perf.json`` at the repo root in a stable, versioned schema.
+``--check`` compares a fresh run against the committed report and exits
+nonzero when any case regresses past the tolerance band; CI runs this
+on the ``--quick`` subset as the perf-smoke job.
+
+Two things keep cross-machine comparison honest:
+
+* a **calibration score** (kops/s of a fixed pure-Python loop) is
+  stored with every report; checks normalize wall-clock by the ratio of
+  calibration scores, so a slower CI runner is not flagged as a
+  regression;
+* the matrix is **pinned** — the cases, seeds, and workload knobs below
+  are part of the schema. Changing them invalidates comparisons, so any
+  edit must also refresh the committed ``BENCH_perf.json`` (see
+  EXPERIMENTS.md, "Performance baseline").
+
+This module (with :mod:`repro.bench.harness`) is a blessed wall-clock
+reader: host time is its subject matter. It never feeds host time back
+into a simulation, so simulated results stay a pure function of the
+seed; the fingerprint tests in ``tests/test_faults_injection.py`` and
+``tests/test_perf_identity.py`` are the proof.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import run_benchmark
+from repro.sim.config import ClusterConfig
+from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+#: Bump when the report layout or the pinned matrix changes shape.
+SCHEMA = "repro-perf/1"
+
+#: Where ``repro perf`` writes (and ``--check`` reads) by default.
+DEFAULT_REPORT = "BENCH_perf.json"
+
+#: Default regression tolerance band for ``--check`` (fraction).
+DEFAULT_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One pinned cell of the perf matrix."""
+
+    name: str
+    system: str
+    workload: str
+    clients: int
+    duration_ms: float
+    sites: int
+    seed: int = 11
+
+    def build_workload(self):
+        # Workload knobs are pinned here, not taken from the CLI: the
+        # matrix must mean the same thing in every report it is
+        # compared against.
+        if self.workload == "ycsb":
+            return YCSBWorkload(YCSBConfig(
+                num_partitions=200, rmw_fraction=0.5, zipf_theta=0.5,
+            ))
+        if self.workload == "ycsb-skew":
+            return YCSBWorkload(YCSBConfig(
+                num_partitions=200, rmw_fraction=0.5, zipf_theta=0.9,
+            ))
+        if self.workload == "tpcc":
+            return TPCCWorkload(TPCCConfig(warehouses=4, items=1000))
+        if self.workload == "smallbank":
+            return SmallBankWorkload(SmallBankConfig(users=4000))
+        raise ValueError(f"unknown perf workload {self.workload!r}")
+
+
+#: The pinned matrix: every system on the shared YCSB scale, plus
+#: skew / multi-workload / larger-scale cells for the primary system.
+PERF_MATRIX: Sequence[PerfCase] = (
+    PerfCase("dynamast-ycsb", "dynamast", "ycsb", 16, 800.0, 3),
+    PerfCase("single-master-ycsb", "single-master", "ycsb", 16, 800.0, 3),
+    PerfCase("multi-master-ycsb", "multi-master", "ycsb", 16, 800.0, 3),
+    PerfCase("partition-store-ycsb", "partition-store", "ycsb", 16, 800.0, 3),
+    PerfCase("leap-ycsb", "leap", "ycsb", 16, 800.0, 3),
+    PerfCase("dynamast-ycsb-skew", "dynamast", "ycsb-skew", 16, 800.0, 3),
+    PerfCase("dynamast-tpcc", "dynamast", "tpcc", 16, 800.0, 3),
+    PerfCase("dynamast-smallbank", "dynamast", "smallbank", 16, 800.0, 3),
+    PerfCase("dynamast-ycsb-large", "dynamast", "ycsb", 32, 1500.0, 4),
+)
+
+#: CI subset: one cheap cell per distinct code path family.
+QUICK_CASES = ("dynamast-ycsb", "multi-master-ycsb", "dynamast-tpcc")
+
+
+def calibrate(loops: int = 200_000, rounds: int = 3) -> float:
+    """Score this host: kops/s of a fixed pure-Python integer loop.
+
+    Best-of-``rounds`` to shrug off scheduler noise. The loop is
+    deliberately interpreter-bound (no allocation, no C fast paths) so
+    the score tracks the same resource the simulator burns.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(loops):
+            acc = (acc * 31 + i) % 1_000_003
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, loops / elapsed / 1000.0)
+    return round(best, 1)
+
+
+def run_case(case: PerfCase, repeats: int = 3) -> Dict:
+    """Run one matrix cell ``repeats`` times; keep the best wall-clock.
+
+    Minimum-of-repeats is the standard for wall benchmarks: noise only
+    ever adds time. Simulated quantities (events, commits) are
+    identical across repeats by the determinism contract.
+    """
+    best = None
+    for _ in range(repeats):
+        result = run_benchmark(
+            case.system,
+            case.build_workload(),
+            num_clients=case.clients,
+            duration_ms=case.duration_ms,
+            warmup_ms=case.duration_ms / 4,
+            cluster_config=ClusterConfig(num_sites=case.sites),
+            seed=case.seed,
+        )
+        if best is None or result.wall_clock_s < best.wall_clock_s:
+            best = result
+    wall = best.wall_clock_s
+    return {
+        "system": case.system,
+        "workload": case.workload,
+        "clients": case.clients,
+        "sites": case.sites,
+        "duration_ms": case.duration_ms,
+        "seed": case.seed,
+        "wall_s": round(wall, 4),
+        "sim_events": best.events_processed,
+        "events_per_s": round(best.events_processed / wall) if wall else 0,
+        "commits": best.metrics.commits,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def select_cases(quick: bool = False) -> List[PerfCase]:
+    if quick:
+        return [case for case in PERF_MATRIX if case.name in QUICK_CASES]
+    return list(PERF_MATRIX)
+
+
+def run_matrix(
+    cases: Sequence[PerfCase],
+    repeats: int = 3,
+    progress=None,
+) -> Dict:
+    """Run ``cases`` and assemble the report payload."""
+    calibration = calibrate()
+    results: Dict[str, Dict] = {}
+    for case in cases:
+        measured = run_case(case, repeats=repeats)
+        results[case.name] = measured
+        if progress is not None:
+            progress(case.name, measured)
+    return {
+        "schema": SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+            "calibration_kops": calibration,
+        },
+        "settings": {"repeats": repeats},
+        "cases": results,
+    }
+
+
+def attach_baseline(payload: Dict, baseline: Dict, label: str) -> None:
+    """Embed ``baseline`` (another report) and the speedup comparison.
+
+    Used when refreshing ``BENCH_perf.json`` after substrate work: the
+    pre-change report rides along as documentation of the win.
+    """
+    payload["baseline"] = {
+        "label": label,
+        "generated_at": baseline.get("generated_at"),
+        "calibration_kops": baseline["machine"]["calibration_kops"],
+        "cases": {
+            name: {
+                "wall_s": case["wall_s"],
+                "events_per_s": case["events_per_s"],
+                "peak_rss_kb": case.get("peak_rss_kb"),
+            }
+            for name, case in baseline["cases"].items()
+        },
+    }
+    per_case = {}
+    speedups = []
+    for name, current in payload["cases"].items():
+        base = baseline["cases"].get(name)
+        if base is None:
+            continue
+        normalized = _normalize(
+            current["wall_s"],
+            payload["machine"]["calibration_kops"],
+            baseline["machine"]["calibration_kops"],
+        )
+        speedup = base["wall_s"] / normalized if normalized else 0.0
+        reduction = 1.0 - normalized / base["wall_s"] if base["wall_s"] else 0.0
+        per_case[name] = {
+            "baseline_wall_s": base["wall_s"],
+            "normalized_wall_s": round(normalized, 4),
+            "speedup": round(speedup, 3),
+            "wall_reduction": round(reduction, 4),
+        }
+        speedups.append(reduction)
+    payload["comparison"] = {
+        "vs": label,
+        "per_case": per_case,
+        "mean_wall_reduction": (
+            round(sum(speedups) / len(speedups), 4) if speedups else 0.0
+        ),
+    }
+
+
+def _normalize(wall_s: float, current_kops: float, baseline_kops: float) -> float:
+    """Express ``wall_s`` in baseline-machine seconds.
+
+    A host twice as fast (2x calibration) would finish the same work in
+    half the time; multiplying by the kops ratio undoes that, so the
+    tolerance band measures the *code*, not the machine.
+    """
+    if not current_kops or not baseline_kops:
+        return wall_s
+    return wall_s * (current_kops / baseline_kops)
+
+
+def compare_reports(
+    current: Dict,
+    committed: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Dict]:
+    """Return one row per shared case; regressed rows flagged."""
+    rows = []
+    for name, fresh in current["cases"].items():
+        base = committed["cases"].get(name)
+        if base is None:
+            continue
+        normalized = _normalize(
+            fresh["wall_s"],
+            current["machine"]["calibration_kops"],
+            committed["machine"]["calibration_kops"],
+        )
+        ratio = normalized / base["wall_s"] if base["wall_s"] else 1.0
+        rows.append({
+            "case": name,
+            "committed_wall_s": base["wall_s"],
+            "normalized_wall_s": round(normalized, 4),
+            "ratio": round(ratio, 3),
+            "regressed": ratio > 1.0 + tolerance,
+        })
+    return rows
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {schema!r} != {SCHEMA!r}; "
+            "regenerate the report with this tree's `repro perf`"
+        )
+    return payload
+
+
+def write_report(payload: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(
+    *,
+    quick: bool = False,
+    check: bool = False,
+    out: str = DEFAULT_REPORT,
+    baseline_path: str = DEFAULT_REPORT,
+    baseline_from: Optional[str] = None,
+    baseline_label: str = "previous baseline",
+    tolerance: float = DEFAULT_TOLERANCE,
+    repeats: int = 3,
+    emit=print,
+) -> int:
+    """Drive a perf run; returns a process exit code.
+
+    ``check=False``: run the matrix, write ``out`` (optionally embedding
+    ``baseline_from`` as the before/after comparison).
+    ``check=True``: run the matrix and compare against the committed
+    report at ``baseline_path``; never writes; exit 1 on regression.
+    """
+    # Load reports up front so a missing/stale file fails before the
+    # matrix burns minutes of wall-clock.
+    committed = load_report(baseline_path) if check else None
+    baseline = load_report(baseline_from) if baseline_from else None
+
+    cases = select_cases(quick=quick)
+    emit(f"perf: running {len(cases)} case(s), repeats={repeats}"
+         + (" [quick]" if quick else ""))
+    payload = run_matrix(
+        cases,
+        repeats=repeats,
+        progress=lambda name, row: emit(
+            f"  {name:<24} {row['wall_s']:>8.3f}s  "
+            f"{row['events_per_s']:>10,} ev/s  {row['commits']:>8,} commits"
+        ),
+    )
+    emit(f"calibration: {payload['machine']['calibration_kops']} kops")
+
+    if check:
+        rows = compare_reports(payload, committed, tolerance=tolerance)
+        if not rows:
+            emit("perf: no overlapping cases with the committed report")
+            return 1
+        regressions = [row for row in rows if row["regressed"]]
+        for row in rows:
+            flag = "REGRESSED" if row["regressed"] else "ok"
+            emit(f"  {row['case']:<24} committed {row['committed_wall_s']:>8.3f}s"
+                 f"  now {row['normalized_wall_s']:>8.3f}s (normalized)"
+                 f"  x{row['ratio']:.2f}  {flag}")
+        if regressions:
+            emit(f"perf: {len(regressions)} case(s) regressed beyond "
+                 f"{tolerance:.0%} vs {baseline_path}")
+            return 1
+        emit(f"perf: within {tolerance:.0%} of {baseline_path}")
+        return 0
+
+    if baseline is not None:
+        attach_baseline(payload, baseline, baseline_label)
+        mean = payload["comparison"]["mean_wall_reduction"]
+        emit(f"mean wall-clock reduction vs {baseline_label}: {mean:.1%}")
+    write_report(payload, out)
+    emit(f"wrote {out}")
+    return 0

@@ -10,6 +10,8 @@ Commands:
   Chrome-trace / JSON-lines files for Perfetto;
 * ``chaos`` — run a named fault scenario against one system and print
   the availability timeline (optionally exporting it as CSV);
+* ``perf`` — run the pinned wall-clock matrix, write ``BENCH_perf.json``,
+  or (``--check``) gate against the committed baseline;
 * ``experiments`` — list the per-figure experiment drivers.
 """
 
@@ -200,6 +202,25 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from repro.bench import perf
+
+    try:
+        return perf.main(
+            quick=args.quick,
+            check=args.check,
+            out=args.out,
+            baseline_path=args.baseline,
+            baseline_from=args.baseline_from or None,
+            baseline_label=args.baseline_label,
+            tolerance=args.tolerance,
+            repeats=args.repeats,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro perf: error: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_experiments(_args) -> int:
     from repro.bench import experiments
 
@@ -275,6 +296,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--out", default="", help="write the timeline as CSV")
     chaos.set_defaults(fn=cmd_chaos)
+
+    from repro.bench.perf import DEFAULT_REPORT, DEFAULT_TOLERANCE
+
+    perf = commands.add_parser(
+        "perf", help="run the pinned wall-clock matrix / gate regressions"
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="CI subset of the matrix")
+    perf.add_argument("--check", action="store_true",
+                      help="compare against the committed report instead of "
+                           "writing; exit 1 on regression")
+    perf.add_argument("--out", default=DEFAULT_REPORT,
+                      help="report path to write (default: %(default)s)")
+    perf.add_argument("--baseline", default=DEFAULT_REPORT,
+                      help="committed report --check compares against")
+    perf.add_argument("--baseline-from", default="",
+                      help="embed this prior report as the before/after "
+                           "baseline when writing")
+    perf.add_argument("--baseline-label", default="previous baseline",
+                      help="label for --baseline-from in the report")
+    perf.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                      help="--check regression band (default: %(default)s)")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="runs per case; best wall-clock wins")
+    perf.set_defaults(fn=cmd_perf)
 
     experiments = commands.add_parser("experiments", help="list figure drivers")
     experiments.set_defaults(fn=cmd_experiments)

@@ -116,6 +116,7 @@ class SiteSelector:
             return result
         env = self.env
         tracer = env.obs.tracer
+        traced = tracer.enabled
         route_started = env.now
         partitions = sorted(self.scheme.partitions_of(txn.write_set))
         lock_started = env.now
@@ -123,16 +124,18 @@ class SiteSelector:
         for partition in partitions:
             yield self.table.info(partition).lock.acquire_read()
         txn.add_timing("selector_lock", env.now - lock_started)
-        tracer.span("selector_lock", lock_started, env.now,
-                    track="selector", txn=txn)
+        if traced:
+            tracer.span("selector_lock", lock_started, env.now,
+                        track="selector", txn=txn)
         self.statistics.observe(env.now, txn.client_id, partitions)
 
         masters = self.table.masters_of(partitions)
         if len(masters) <= 1:
             site = masters.pop() if masters else 0
             self._register(site, partitions, shared=True)
-            tracer.span("route", route_started, env.now,
-                        track="selector", txn=txn, site=site)
+            if traced:
+                tracer.span("route", route_started, env.now,
+                            track="selector", txn=txn, site=site)
             return RouteResult(site, None, tuple(partitions), False)
 
         # Distributed masters: upgrade to exclusive partition locks.
@@ -148,11 +151,13 @@ class SiteSelector:
             # with common write sets, §III-B).
             site = masters.pop()
             txn.add_timing("routing", env.now - decision_started)
-            tracer.span("routing", decision_started, env.now,
-                        track="selector", txn=txn)
+            if traced:
+                tracer.span("routing", decision_started, env.now,
+                            track="selector", txn=txn)
             self._register(site, partitions, shared=False)
-            tracer.span("route", route_started, env.now,
-                        track="selector", txn=txn, site=site)
+            if traced:
+                tracer.span("route", route_started, env.now,
+                            track="selector", txn=txn, site=site)
             return RouteResult(site, None, tuple(partitions), False)
 
         yield from self.cpu.use(self.config.costs.remaster_decision_ms)
@@ -190,17 +195,18 @@ class SiteSelector:
         self.partitions_moved += moved
         self.updates_remastered += 1
         txn.add_timing("routing", env.now - decision_started)
-        tracer.span("routing", decision_started, env.now,
-                    track="selector", txn=txn, remastered=True)
-        if tracer.enabled:
+        if traced:
+            tracer.span("routing", decision_started, env.now,
+                        track="selector", txn=txn, remastered=True)
             tracer.instant(
                 "remaster", env.now, track="selector", txn=txn,
                 destination=destination, partitions_moved=moved,
                 operations=len(moves),
             )
         self._register(destination, partitions, exclusive=moving)
-        tracer.span("route", route_started, env.now,
-                    track="selector", txn=txn, site=destination)
+        if traced:
+            tracer.span("route", route_started, env.now,
+                        track="selector", txn=txn, site=destination)
         return RouteResult(destination, min_vv, tuple(partitions), True, moved)
 
     def _register(
@@ -238,6 +244,7 @@ class SiteSelector:
         attribute the release/grant spans in a trace.
         """
         tracer = self.env.obs.tracer
+        traced = tracer.enabled
         sites = self.cluster.sites
         release_started = self.env.now
         release_vv = yield from remote_call(
@@ -245,17 +252,20 @@ class SiteSelector:
             sites[source].release_mastership(partitions),
             category="remaster",
         )
-        tracer.span("release", release_started, self.env.now,
-                    track=f"site{source}", txn=txn, partitions=len(partitions))
+        if traced:
+            tracer.span("release", release_started, self.env.now,
+                        track=f"site{source}", txn=txn,
+                        partitions=len(partitions))
         grant_started = self.env.now
         grant_vv = yield from remote_call(
             self.network,
             sites[destination].grant_mastership(partitions, release_vv, source=source),
             category="remaster",
         )
-        tracer.span("grant", grant_started, self.env.now,
-                    track=f"site{destination}", txn=txn,
-                    partitions=len(partitions), source=source)
+        if traced:
+            tracer.span("grant", grant_started, self.env.now,
+                        track=f"site{destination}", txn=txn,
+                        partitions=len(partitions), source=source)
         return grant_vv
 
     # -- fault-aware write routing ---------------------------------------------
@@ -550,10 +560,12 @@ class SiteSelector:
                 key=lambda site: site.svv.lag_behind(session.cvv),
             ).index
         self.reads_routed += 1
-        self.env.obs.tracer.span(
-            "route", route_started, self.env.now,
-            track="selector", txn=txn, site=choice,
-        )
+        tracer = self.env.obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                "route", route_started, self.env.now,
+                track="selector", txn=txn, site=choice,
+            )
         return choice
 
     # -- introspection -------------------------------------------------------------------

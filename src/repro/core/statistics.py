@@ -14,6 +14,18 @@ Samples are recorded in a bounded history queue; expiring a sample
 decrements every count it contributed, so the statistics track a
 sliding window of the workload and adapt when access patterns change
 (§VI-B5).
+
+Ingestion is **lazy**: :meth:`AccessStatistics.observe` is on the hot
+routing path of every update transaction, while the counts are only
+read on the (rare, <3% in the paper) remastering path. ``observe``
+therefore just timestamps the sampled write set into a pending buffer
+— the sampling RNG draw stays in ``observe`` so the draw sequence is
+unchanged — and every query first *folds* the buffer by replaying the
+eager algorithm sample by sample, each with its own observe-time
+expiry horizon. A folded state is bit-identical to what per-observe
+ingestion would have produced (pinned by the golden statistics test),
+and queries remain side-effect-free in the observable sense: folding
+only materializes state that was already determined at observe time.
 """
 
 from __future__ import annotations
@@ -55,15 +67,54 @@ class AccessStatistics:
     def __init__(self, config: Optional[StatisticsConfig] = None, rng=None):
         self.config = config or StatisticsConfig()
         self._rng = rng
-        self.partition_writes: Dict[int, float] = {}
-        self.total_writes: float = 0.0
-        self.co_intra: Dict[int, Dict[int, float]] = {}
-        self.co_inter: Dict[int, Dict[int, float]] = {}
-        self._samples: Deque[_Sample] = deque()
+        self._writes: Dict[int, float] = {}
+        self._total: float = 0.0
+        #: Incremental ``sum(self._writes.values())``; exact because
+        #: every mutation is +-1.0 per partition.
+        self._mass: float = 0.0
+        self._intra: Dict[int, Dict[int, float]] = {}
+        self._inter: Dict[int, Dict[int, float]] = {}
+        self._retained: Deque[_Sample] = deque()
         #: Per-client recent write sets for the inter-txn window.
         self._recent: Dict[int, Deque[Tuple[float, Tuple[int, ...]]]] = {}
+        #: Sampled write sets awaiting ingestion, in observe order.
+        self._pending: List[Tuple[float, int, Tuple[int, ...]]] = []
         self.observed = 0
         self.sampled = 0
+
+    # -- folded views ------------------------------------------------------
+
+    @property
+    def partition_writes(self) -> Dict[int, float]:
+        """Per-partition write counts (folds pending samples)."""
+        if self._pending:
+            self._fold()
+        return self._writes
+
+    @property
+    def total_writes(self) -> float:
+        """Retained sampled-transaction count (folds pending samples)."""
+        if self._pending:
+            self._fold()
+        return self._total
+
+    @property
+    def co_intra(self) -> Dict[int, Dict[int, float]]:
+        if self._pending:
+            self._fold()
+        return self._intra
+
+    @property
+    def co_inter(self) -> Dict[int, Dict[int, float]]:
+        if self._pending:
+            self._fold()
+        return self._inter
+
+    @property
+    def _samples(self) -> Deque[_Sample]:
+        if self._pending:
+            self._fold()
+        return self._retained
 
     # -- recording ---------------------------------------------------------
 
@@ -77,23 +128,33 @@ class AccessStatistics:
             if self._rng.random() >= self.config.sample_rate:
                 return
         self.sampled += 1
+        self._pending.append((now, client_id, partitions))
+
+    def _fold(self) -> None:
+        """Ingest every pending sample exactly as eager observe did."""
+        pending = self._pending
+        self._pending = []
+        for now, client_id, partitions in pending:
+            self._ingest(now, client_id, partitions)
+
+    def _ingest(self, now: float, client_id: int, partitions: Tuple[int, ...]) -> None:
         self._expire(now)
 
+        writes = self._writes
         for partition in partitions:
-            self.partition_writes[partition] = (
-                self.partition_writes.get(partition, 0.0) + 1.0
-            )
-        self.total_writes += 1.0
+            writes[partition] = writes.get(partition, 0.0) + 1.0
+        self._total += 1.0
+        self._mass += float(len(partitions))
 
         for index, left in enumerate(partitions):
             for right in partitions[index + 1:]:
-                self._bump(self.co_intra, left, right, 1.0)
-                self._bump(self.co_intra, right, left, 1.0)
+                self._bump(self._intra, left, right, 1.0)
+                self._bump(self._intra, right, left, 1.0)
 
         inter_pairs = self._record_inter(now, client_id, partitions)
-        self._samples.append(_Sample(now, client_id, partitions, inter_pairs))
-        if len(self._samples) > self.config.max_samples:
-            self._remove(self._samples.popleft())
+        self._retained.append(_Sample(now, client_id, partitions, inter_pairs))
+        if len(self._retained) > self.config.max_samples:
+            self._remove(self._retained.popleft())
 
     def _record_inter(
         self, now: float, client_id: int, partitions: Tuple[int, ...]
@@ -105,13 +166,23 @@ class AccessStatistics:
             recent.popleft()
         pairs: List[Tuple[int, int]] = []
         cap = self.config.max_inter_pairs
+        # Break out of the whole pairing once the cap is reached (the
+        # eager version kept iterating while contributing nothing).
+        full = len(pairs) >= cap
         for _, previous in recent:
+            if full:
+                break
             for earlier in previous:
+                if full:
+                    break
                 for later in partitions:
-                    if earlier == later or len(pairs) >= cap:
+                    if earlier == later:
                         continue
-                    self._bump(self.co_inter, earlier, later, 1.0)
+                    self._bump(self._inter, earlier, later, 1.0)
                     pairs.append((earlier, later))
+                    if len(pairs) >= cap:
+                        full = True
+                        break
         recent.append((now, partitions))
         return tuple(pairs)
 
@@ -124,23 +195,26 @@ class AccessStatistics:
 
     def _expire(self, now: float) -> None:
         horizon = now - self.config.expiry_ms
-        while self._samples and self._samples[0].time < horizon:
-            self._remove(self._samples.popleft())
+        retained = self._retained
+        while retained and retained[0].time < horizon:
+            self._remove(retained.popleft())
 
     def _remove(self, sample: _Sample) -> None:
+        writes = self._writes
         for partition in sample.partitions:
-            count = self.partition_writes.get(partition, 0.0) - 1.0
+            count = writes.get(partition, 0.0) - 1.0
             if count <= 0:
-                self.partition_writes.pop(partition, None)
+                writes.pop(partition, None)
             else:
-                self.partition_writes[partition] = count
-        self.total_writes = max(0.0, self.total_writes - 1.0)
+                writes[partition] = count
+        self._total = max(0.0, self._total - 1.0)
+        self._mass -= float(len(sample.partitions))
         for index, left in enumerate(sample.partitions):
             for right in sample.partitions[index + 1:]:
-                self._decay(self.co_intra, left, right)
-                self._decay(self.co_intra, right, left)
+                self._decay(self._intra, left, right)
+                self._decay(self._intra, right, left)
         for earlier, later in sample.inter_pairs:
-            self._decay(self.co_inter, earlier, later)
+            self._decay(self._inter, earlier, later)
 
     @staticmethod
     def _decay(table: Dict[int, Dict[int, float]], left: int, right: int) -> None:
@@ -159,9 +233,11 @@ class AccessStatistics:
 
     def write_fraction(self, partition: int) -> float:
         """Fraction of sampled write transactions touching ``partition``."""
-        if self.total_writes <= 0:
+        if self._pending:
+            self._fold()
+        if self._total <= 0:
             return 0.0
-        return self.partition_writes.get(partition, 0.0) / self.total_writes
+        return self._writes.get(partition, 0.0) / self._total
 
     def access_fraction(self, partition: int) -> float:
         """``partition``'s share of all sampled write accesses.
@@ -170,41 +246,52 @@ class AccessStatistics:
         mass, so summing over all partitions yields 1 — the ``freq``
         needed by the load-balance feature (Equation 2).
         """
-        total = sum(self.partition_writes.values())
-        if total <= 0:
+        if self._pending:
+            self._fold()
+        if self._mass <= 0:
             return 0.0
-        return self.partition_writes.get(partition, 0.0) / total
+        return self._writes.get(partition, 0.0) / self._mass
 
     def intra_probability(self, first: int, second: int) -> float:
         """P(second | first) within a transaction (Eq. 6 numerator)."""
-        base = self.partition_writes.get(first, 0.0)
+        if self._pending:
+            self._fold()
+        base = self._writes.get(first, 0.0)
         if base <= 0:
             return 0.0
-        return self.co_intra.get(first, {}).get(second, 0.0) / base
+        return self._intra.get(first, {}).get(second, 0.0) / base
 
     def inter_probability(self, first: int, second: int) -> float:
         """P(second | first; T <= Δt) across transactions (Eq. 7)."""
-        base = self.partition_writes.get(first, 0.0)
+        if self._pending:
+            self._fold()
+        base = self._writes.get(first, 0.0)
         if base <= 0:
             return 0.0
-        return self.co_inter.get(first, {}).get(second, 0.0) / base
+        return self._inter.get(first, {}).get(second, 0.0) / base
 
     def intra_partners(self, partition: int) -> Dict[int, float]:
         """Co-access counts of partitions written with ``partition``."""
-        return self.co_intra.get(partition, {})
+        if self._pending:
+            self._fold()
+        return self._intra.get(partition, {})
 
     def inter_partners(self, partition: int) -> Dict[int, float]:
-        return self.co_inter.get(partition, {})
+        if self._pending:
+            self._fold()
+        return self._inter.get(partition, {})
 
     def site_write_loads(self, master_of, num_sites: int) -> List[float]:
         """Fraction of sampled writes mastered at each site.
 
         ``master_of`` maps a partition id to its current master site.
         """
+        if self._pending:
+            self._fold()
         loads = [0.0] * num_sites
-        total = sum(self.partition_writes.values())
+        total = self._mass
         if total <= 0:
             return loads
-        for partition, count in self.partition_writes.items():
+        for partition, count in self._writes.items():
             loads[master_of(partition)] += count
         return [load / total for load in loads]

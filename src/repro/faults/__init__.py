@@ -4,6 +4,13 @@ failure-handling vocabulary the protocol stack shares.
 The package is inert unless a :class:`FaultInjector` is installed on a
 cluster: every hook in the simulator is gated on ``faults is None``, so
 runs without a plan are bit-identical to the pre-fault codebase.
+
+The fault model — crash/restart semantics, the hardened RPC layer
+(timeouts, seeded-jitter retries, suspicion), presumed-abort 2PC
+termination, and the abort taxonomy — is specified in DESIGN.md §7;
+the bit-identity gate is pinned by the fingerprint tests in
+``tests/test_faults_injection.py`` (see also DESIGN.md §8 on what
+substrate optimizations must preserve).
 """
 
 from repro.faults.detector import FailureDetector

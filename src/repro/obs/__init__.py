@@ -16,6 +16,13 @@ simulation events and produces bit-identical results to a build without
 this package. Protocol code reaches its observability handle through
 the simulation environment (``env.obs``), so no constructor threading
 is needed.
+
+Design rationale, the full span/instant inventory, and the
+zero-overhead guarantee are documented in DESIGN.md §6; the
+determinism contract the no-op default upholds is §5, and the AST
+guard enforcing it lives in ``tests/test_determinism_guard.py``. Hot
+protocol paths check ``tracer.enabled`` once and skip span
+construction entirely when unobserved (DESIGN.md §8).
 """
 
 from repro.obs.export import (

@@ -109,36 +109,44 @@ class DurableLog:
             size = self.record_size(record)
             category = "replication" if record.kind == UPDATE else "remaster"
             # Producer write plus one delivery per subscriber.
-            for _ in range(1 + len(self._subscribers)):
-                self.network.account(category, size)
+            self.network.account_many(category, size, 1 + len(self._subscribers))
         tracer = self.env.obs.tracer
         if tracer.enabled:
             tracer.instant(
                 "log_append", self.env.now, track=f"site{self.origin}",
                 kind=record.kind, seq=record.seq,
             )
-        for queue in self._subscribers:
-            self._deliver(queue, record)
-
-    def _deliver(self, queue: Store, record: LogRecord) -> None:
-        tracer = self.env.obs.tracer
-        if self.delivery_delay_ms <= 0:
-            queue.put(record)
-            if tracer.enabled:
-                tracer.instant(
-                    "log_deliver", self.env.now, track=f"site{self.origin}",
-                    seq=record.seq,
-                )
+        if not self._subscribers:
             return
+        if self.delivery_delay_ms <= 0:
+            for queue in self._subscribers:
+                queue.put(record)
+                if tracer.enabled:
+                    tracer.instant(
+                        "log_deliver", self.env.now, track=f"site{self.origin}",
+                        seq=record.seq,
+                    )
+            return
+        # Batched fan-out: one shared delay event delivers to every
+        # subscriber registered at append time (snapshotted, matching
+        # the old per-subscriber capture). Ordering is unchanged: the
+        # per-subscriber timeouts this replaces carried consecutive
+        # event ids at one deadline, so nothing could interleave with
+        # them — their puts ran back to back exactly as this loop runs
+        # them, and every put-triggered wakeup still lands afterwards
+        # in the same relative order.
+        targets = tuple(self._subscribers)
         timeout = self.env.timeout(self.delivery_delay_ms)
 
-        def deliver(_event, q=queue, r=record):
-            q.put(r)
-            if tracer.enabled:
-                tracer.instant(
-                    "log_deliver", self.env.now, track=f"site{self.origin}",
-                    seq=r.seq,
-                )
+        def deliver(_event, targets=targets, r=record):
+            tracer = self.env.obs.tracer
+            for queue in targets:
+                queue.put(r)
+                if tracer.enabled:
+                    tracer.instant(
+                        "log_deliver", self.env.now,
+                        track=f"site{self.origin}", seq=r.seq,
+                    )
 
         timeout.callbacks.append(deliver)
 

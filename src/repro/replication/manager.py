@@ -18,11 +18,12 @@ relies on.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.faults.errors import FaultError, SiteDown
 from repro.replication.log import DurableLog, LogRecord
-from repro.versioning.vectors import VersionVector, can_apply_refresh
+from repro.versioning.vectors import can_apply_refresh
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sites.data_site import DataSite
@@ -99,7 +100,7 @@ class ReplicationManager:
         exactly when the system is loaded.
         """
         site = self.site
-        pending = []
+        pending = deque()
         try:
             yield from self._drain_loop(site, queue, pending)
         except FaultError:
@@ -113,7 +114,10 @@ class ReplicationManager:
                 pending.append((yield queue.get()))
             while len(queue):
                 pending.append(queue.get().value)
-            head = VersionVector(pending[0].tvv)
+            # Records carry their tvv as a plain tuple; can_apply_refresh
+            # consumes it directly, so no VersionVector is allocated per
+            # delivered record.
+            head = pending[0].tvv
             head_origin = pending[0].origin
             yield site.watch.wait_until(
                 lambda: can_apply_refresh(site.svv, head, head_origin)
@@ -125,8 +129,7 @@ class ReplicationManager:
             try:
                 while pending:
                     record: LogRecord = pending[0]
-                    tvv = VersionVector(record.tvv)
-                    if not can_apply_refresh(site.svv, tvv, record.origin):
+                    if not can_apply_refresh(site.svv, record.tvv, record.origin):
                         break
                     yield site.env.timeout(
                         site.config.costs.refresh_ms(len(record.writes))
@@ -141,7 +144,7 @@ class ReplicationManager:
                         self.applied_by_origin.get(record.origin, 0) + 1
                     )
                     site.watch.notify()
-                    pending.pop(0)
+                    pending.popleft()
                     while len(queue):
                         pending.append(queue.get().value)
             finally:

@@ -40,6 +40,20 @@ class TrafficCounters:
         self.bytes_by_category[category] = self.bytes_by_category.get(category, 0) + size
         self.messages_by_category[category] = self.messages_by_category.get(category, 0) + 1
 
+    def record_many(self, category: str, size: int, count: int) -> None:
+        """Record ``count`` same-sized messages with one counter bump.
+
+        Totals are exactly what ``count`` calls to :meth:`record` would
+        produce (sizes are integral bytes, so ``size * count`` has no
+        rounding concerns).
+        """
+        self.bytes_by_category[category] = (
+            self.bytes_by_category.get(category, 0) + size * count
+        )
+        self.messages_by_category[category] = (
+            self.messages_by_category.get(category, 0) + count
+        )
+
     def total_bytes(self) -> int:
         return sum(self.bytes_by_category.values())
 
@@ -106,6 +120,20 @@ class Network:
         if obs.enabled:
             obs.registry.counter(f"net.{category}.bytes").inc(size)
             obs.registry.counter(f"net.{category}.messages").inc()
+
+    def account_many(self, category: str, size: int, count: int) -> None:
+        """Record ``count`` same-sized messages against ``category``.
+
+        Used by fan-out paths (log replication) to replace a loop of
+        :meth:`account` calls; the totals are identical.
+        """
+        if count <= 0:
+            return
+        self.traffic.record_many(category, size, count)
+        obs = self.env.obs
+        if obs.enabled:
+            obs.registry.counter(f"net.{category}.bytes").inc(size * count)
+            obs.registry.counter(f"net.{category}.messages").inc(count)
 
     def transfer(self, size: int = 0, category: str = "rpc") -> Timeout:
         """Event that triggers after the message has traversed the wire."""

@@ -212,27 +212,32 @@ class DataSite:
         costs = self.config.costs
         env = self.env
         tracer = env.obs.tracer
-        track = f"site{self.index}"
+        traced = tracer.enabled
+        track = f"site{self.index}" if traced else ""
         if verify_mastership and any(p not in self.mastered for p in partitions):
             self.activity.finish(self.index, partitions, token)
-            tracer.instant("mastership_miss", env.now, track=track, txn=txn)
+            if traced:
+                tracer.instant("mastership_miss", env.now, track=track, txn=txn)
             return None
         started = env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", env.now - started)
-        tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
+        if traced:
+            tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
 
         lock_started = env.now
         yield from self.database.locks.acquire_all(txn.write_set)
         txn.add_timing("lock_wait", env.now - lock_started)
-        tracer.span("lock_wait", lock_started, env.now, track=track, txn=txn)
+        if traced:
+            tracer.span("lock_wait", lock_started, env.now, track=track, txn=txn)
         try:
             begin_started = env.now
             yield from self.cpu.use(costs.txn_begin_ms)
             begin_vv = self.svv.copy()
             txn.add_timing("begin", env.now - begin_started)
-            tracer.span("begin", begin_started, env.now, track=track, txn=txn)
+            if traced:
+                tracer.span("begin", begin_started, env.now, track=track, txn=txn)
 
             execute_started = env.now
             service = costs.execution_ms(
@@ -242,13 +247,15 @@ class DataSite:
             for key in txn.read_set:
                 self.database.read(key, begin_vv)
             txn.add_timing("execute", env.now - execute_started)
-            tracer.span("execute", execute_started, env.now, track=track, txn=txn)
+            if traced:
+                tracer.span("execute", execute_started, env.now, track=track, txn=txn)
 
             commit_started = env.now
             yield from self.cpu.use(costs.txn_commit_ms)
             tvv = self._commit(txn, begin_vv)
             txn.add_timing("commit", env.now - commit_started)
-            tracer.span("commit", commit_started, env.now, track=track, txn=txn)
+            if traced:
+                tracer.span("commit", commit_started, env.now, track=track, txn=txn)
         finally:
             self.database.locks.release_all(txn.write_set)
             if partitions:
@@ -284,12 +291,14 @@ class DataSite:
         costs = self.config.costs
         env = self.env
         tracer = env.obs.tracer
-        track = f"site{self.index}"
+        traced = tracer.enabled
+        track = f"site{self.index}" if traced else ""
         started = env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", env.now - started)
-        tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
+        if traced:
+            tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
 
         read_keys = txn.read_set if keys is None else keys
         scan_keys = txn.scan_set if scans is None else scans
@@ -301,7 +310,8 @@ class DataSite:
         for key in read_keys:
             self.database.read(key, begin_vv)
         txn.add_timing("execute", env.now - execute_started)
-        tracer.span("execute", execute_started, env.now, track=track, txn=txn)
+        if traced:
+            tracer.span("execute", execute_started, env.now, track=track, txn=txn)
         self.read_txns += 1
         return begin_vv
 
@@ -432,12 +442,14 @@ class DataSite:
         """
         costs = self.config.costs
         tracer = self.env.obs.tracer
-        track = f"site{self.index}"
+        traced = tracer.enabled
+        track = f"site{self.index}" if traced else ""
         started = self.env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", self.env.now - started)
-        tracer.span("freshness_wait", started, self.env.now, track=track, txn=txn)
+        if traced:
+            tracer.span("freshness_wait", started, self.env.now, track=track, txn=txn)
         lock_started = self.env.now
         yield from self.database.locks.acquire_all(keys)
         if self.network.faults is not None and txn.txn_id in self._branch_aborted:
@@ -450,7 +462,8 @@ class DataSite:
             )
         self._branch_locked.add((txn.txn_id, keys))
         txn.add_timing("lock_wait", self.env.now - lock_started)
-        tracer.span("lock_wait", lock_started, self.env.now, track=track, txn=txn)
+        if traced:
+            tracer.span("lock_wait", lock_started, self.env.now, track=track, txn=txn)
         execute_started = self.env.now
         yield from self.cpu.use(costs.txn_begin_ms)
         begin_vv = self.svv.copy()
@@ -459,8 +472,9 @@ class DataSite:
         yield from self.cpu.use(service)
         # Trace-only: branch execution is deliberately not added to the
         # metrics breakdown (it overlaps other branches of the same txn).
-        tracer.span("branch_execute", execute_started, self.env.now,
-                    track=track, txn=txn)
+        if traced:
+            tracer.span("branch_execute", execute_started, self.env.now,
+                        track=track, txn=txn)
         return begin_vv
 
     def prepare_branch(self, txn: Transaction, keys: Tuple):
@@ -468,10 +482,12 @@ class DataSite:
         and vote yes. Locks remain held."""
         started = self.env.now
         yield from self.cpu.use(self.config.costs.prepare_ms)
-        self.env.obs.tracer.span(
-            "branch_prepare", started, self.env.now,
-            track=f"site{self.index}", txn=txn,
-        )
+        tracer = self.env.obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                "branch_prepare", started, self.env.now,
+                track=f"site{self.index}", txn=txn,
+            )
         return True
 
     def commit_branch(self, txn: Transaction, keys: Tuple, begin_vv: VersionVector):
@@ -502,10 +518,12 @@ class DataSite:
         if self.network.faults is not None:
             self._branch_results[(txn.txn_id, keys)] = tvv
         self.database.locks.release_all(keys)
-        self.env.obs.tracer.span(
-            "branch_commit", branch_started, self.env.now,
-            track=f"site{self.index}", txn=txn,
-        )
+        tracer = self.env.obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                "branch_commit", branch_started, self.env.now,
+                track=f"site{self.index}", txn=txn,
+            )
         return tvv
 
     def abort_branch(self, txn: Transaction, keys: Tuple):

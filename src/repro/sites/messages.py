@@ -44,8 +44,9 @@ def remote_call(
     request_delay = network.delay_for(request_size)
     network.account(category, request_size)
     request_started = env.now
+    traced = tracer.enabled
     yield env.timeout(request_delay)
-    if txn is not None:
+    if txn is not None and traced:
         tracer.span("network", request_started, env.now,
                     track="net", txn=txn, category=category)
     result = yield from handler
@@ -55,8 +56,9 @@ def remote_call(
     yield env.timeout(response_delay)
     if txn is not None:
         txn.add_timing("network", request_delay + response_delay)
-        tracer.span("network", response_started, env.now,
-                    track="net", txn=txn, category=category)
+        if traced:
+            tracer.span("network", response_started, env.now,
+                        track="net", txn=txn, category=category)
     return result
 
 

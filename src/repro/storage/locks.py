@@ -9,7 +9,7 @@ to make deadlock impossible.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Generator, Iterable
+from typing import Any, Deque, Dict, Generator, Iterable, Optional
 
 from repro.sim.core import Environment, Event, SimulationError
 
@@ -19,8 +19,15 @@ class LockTable:
 
     def __init__(self, env: Environment):
         self.env = env
-        # key -> deque of waiter events; presence of the key means locked.
-        self._queues: Dict[Any, Deque[Event]] = {}
+        # key -> waiter queue; presence of the key means locked. The
+        # common case is an uncontended lock, so the queue is allocated
+        # on demand: ``None`` means "locked, nobody waiting" (both None
+        # and an empty deque are falsy, so truth tests treat them the
+        # same).
+        self._queues: Dict[Any, Optional[Deque[Event]]] = {}
+        #: Memoized ``repr`` sort keys for :meth:`acquire_all`. Keys are
+        #: record keys, so the memo is bounded by the database size.
+        self._sort_keys: Dict[Any, str] = {}
         #: Total number of acquisitions that had to wait (contention stat).
         self.contended_acquires = 0
         self.total_acquires = 0
@@ -34,7 +41,7 @@ class LockTable:
 
     def waiting_count(self) -> int:
         """Total transactions queued behind held locks."""
-        return sum(len(queue) for queue in self._queues.values())
+        return sum(len(queue) for queue in self._queues.values() if queue)
 
     def waiters(self, key: Any) -> int:
         queue = self._queues.get(key)
@@ -44,35 +51,55 @@ class LockTable:
         """Event that triggers when the caller holds ``key``'s lock."""
         self.total_acquires += 1
         event = Event(self.env)
-        queue = self._queues.get(key)
-        if queue is None:
-            self._queues[key] = deque()
-            event.succeed()
-        else:
+        queues = self._queues
+        if key in queues:
             self.contended_acquires += 1
+            queue = queues[key]
+            if queue is None:
+                queue = queues[key] = deque()
             queue.append(event)
+        else:
+            queues[key] = None
+            event.succeed()
         return event
 
     def release(self, key: Any) -> None:
         """Release ``key``; wakes the longest-waiting acquirer, if any."""
-        queue = self._queues.get(key)
-        if queue is None:
+        queues = self._queues
+        if key not in queues:
             raise SimulationError(f"release of unlocked key {key!r}")
+        queue = queues[key]
         if queue:
             queue.popleft().succeed()
         else:
-            del self._queues[key]
+            del queues[key]
+
+    def _sort_key(self, key: Any) -> str:
+        memoized = self._sort_keys.get(key)
+        if memoized is None:
+            memoized = self._sort_keys[key] = repr(key)
+        return memoized
 
     def acquire_all(self, keys: Iterable[Any]) -> Generator:
         """Acquire every key in sorted order (deadlock-free helper).
 
         Usage: ``yield from lock_table.acquire_all(keys)``. Duplicate
-        keys are acquired once.
+        keys are acquired once. The global order is the keys' ``repr``
+        (memoized per key) — this exact order is load-bearing for
+        bit-identity, so do not "simplify" it to natural tuple order.
         """
-        for key in sorted(set(keys), key=repr):
+        unique = set(keys)
+        if len(unique) == 1:
+            yield self.acquire(unique.pop())
+            return
+        for key in sorted(unique, key=self._sort_key):
             yield self.acquire(key)
 
     def release_all(self, keys: Iterable[Any]) -> None:
         """Release every key previously acquired via :meth:`acquire_all`."""
-        for key in sorted(set(keys), key=repr):
+        unique = set(keys)
+        if len(unique) == 1:
+            self.release(unique.pop())
+            return
+        for key in sorted(unique, key=self._sort_key):
             self.release(key)

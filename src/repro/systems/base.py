@@ -145,8 +145,10 @@ class System(ABC):
         started = self.env.now
         yield self.env.timeout(delay)
         txn.add_timing("network", delay)
-        self.obs.tracer.span("network", started, self.env.now,
-                             track="net", txn=txn, category="client")
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.span("network", started, self.env.now,
+                        track="net", txn=txn, category="client")
 
     def choose_fresh_site(self, session: Session, rng) -> int:
         """Read routing (paper §IV-B): a random session-fresh site.

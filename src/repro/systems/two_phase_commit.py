@@ -56,6 +56,7 @@ def two_phase_commit(
     env = system.env
     obs = env.obs
     tracer = obs.tracer
+    traced = tracer.enabled
     sites = system.sites
     items = sorted(branches.items(), key=lambda item: (-len(item[1]), item[0]))
     placement = system.placement
@@ -103,15 +104,17 @@ def two_phase_commit(
     # the later rounds.
     by_unit = {unit: vv for (unit, _), vv in zip(sorted(items), begin_vvs)}
     begin_vvs = [by_unit[unit] for unit, _ in items]
-    tracer.span("2pc_execute", round_started, env.now,
-                track=coordinator_track, txn=txn, branches=len(items))
+    if traced:
+        tracer.span("2pc_execute", round_started, env.now,
+                    track=coordinator_track, txn=txn, branches=len(items))
 
     # Round 2: prepare — participants force-log and vote. Locks held.
     round_started = env.now
     yield from sites[coordinator].cpu.use(coordinate)
     yield fan_out(lambda site, keys: site.prepare_branch(txn, keys))
-    tracer.span("2pc_prepare", round_started, env.now,
-                track=coordinator_track, txn=txn, branches=len(items))
+    if traced:
+        tracer.span("2pc_prepare", round_started, env.now,
+                    track=coordinator_track, txn=txn, branches=len(items))
 
     # Round 3: all voted yes -> commit decision fan-out. The window
     # between the prepare votes and this decision reaching a branch is
@@ -122,8 +125,9 @@ def two_phase_commit(
         lambda site, keys, begin_vv: site.commit_branch(txn, keys, begin_vv),
         payload=begin_vvs,
     )
-    tracer.span("2pc_decide", round_started, env.now,
-                track=coordinator_track, txn=txn, branches=len(items))
+    if traced:
+        tracer.span("2pc_decide", round_started, env.now,
+                    track=coordinator_track, txn=txn, branches=len(items))
 
     merged = VersionVector.zeros(len(sites[0].svv))
     for commit_vv in commit_vvs:

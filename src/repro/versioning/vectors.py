@@ -65,8 +65,15 @@ class VersionVector:
     # -- element-wise operations --------------------------------------------
 
     def copy(self) -> "VersionVector":
-        """An independent copy of this vector."""
-        return VersionVector(self.counts)
+        """An independent copy of this vector.
+
+        Skips ``__init__``'s validation scan — the entries were already
+        validated when this vector was built (hot path: one copy per
+        refresh-delay estimate and per session merge).
+        """
+        clone = VersionVector.__new__(VersionVector)
+        clone.counts = self.counts[:]
+        return clone
 
     def to_tuple(self) -> Tuple[int, ...]:
         """An immutable snapshot of the entries."""
@@ -75,19 +82,34 @@ class VersionVector:
     def dominates(self, other: "VersionVector") -> bool:
         """True if ``self[k] >= other[k]`` for every position ``k``."""
         self._check_dimension(other)
-        return all(mine >= theirs for mine, theirs in zip(self.counts, other.counts))
+        theirs = other.counts
+        index = 0
+        for mine in self.counts:
+            if mine < theirs[index]:
+                return False
+            index += 1
+        return True
 
     def strictly_less(self, other: "VersionVector") -> bool:
         """Paper footnote ordering: ``self[k] < other[k]`` everywhere."""
         self._check_dimension(other)
-        return all(mine < theirs for mine, theirs in zip(self.counts, other.counts))
+        theirs = other.counts
+        index = 0
+        for mine in self.counts:
+            if mine >= theirs[index]:
+                return False
+            index += 1
+        return True
 
     def element_max(self, other: "VersionVector") -> "VersionVector":
         """New vector holding the per-position maximum."""
         self._check_dimension(other)
-        return VersionVector(
-            max(mine, theirs) for mine, theirs in zip(self.counts, other.counts)
-        )
+        result = VersionVector.__new__(VersionVector)
+        result.counts = [
+            mine if mine >= theirs else theirs
+            for mine, theirs in zip(self.counts, other.counts)
+        ]
+        return result
 
     def merge(self, other: "VersionVector") -> None:
         """In-place element-wise maximum (advance a session vector)."""
@@ -109,9 +131,15 @@ class VersionVector:
         the target contribute zero.
         """
         self._check_dimension(target)
-        return sum(
-            max(0, wanted - have) for have, wanted in zip(self.counts, target.counts)
-        )
+        lag = 0
+        wanted = target.counts
+        index = 0
+        for have in self.counts:
+            missing = wanted[index] - have
+            if missing > 0:
+                lag += missing
+            index += 1
+        return lag
 
     def total(self) -> int:
         """Sum of all entries (total updates reflected)."""
@@ -124,7 +152,7 @@ class VersionVector:
             )
 
 
-def can_apply_refresh(svv: VersionVector, tvv: VersionVector, origin: int) -> bool:
+def can_apply_refresh(svv, tvv, origin: int) -> bool:
     """The update application rule (Equation 1).
 
     A replica with site version vector ``svv`` may apply the refresh
@@ -135,12 +163,21 @@ def can_apply_refresh(svv: VersionVector, tvv: VersionVector, origin: int) -> bo
       the update depends on has been applied locally), and
     * ``svv[origin] == tvv[origin] - 1`` (refreshes from the origin are
       applied in exactly their commit order).
+
+    Accepts :class:`VersionVector` or any plain indexable of the same
+    dimension (refresh managers pass log records' ``tvv`` tuples
+    straight through, avoiding a vector allocation per record).
     """
-    if svv[origin] != tvv[origin] - 1:
+    have = svv.counts if type(svv) is VersionVector else svv
+    want = tvv.counts if type(tvv) is VersionVector else tvv
+    if have[origin] != want[origin] - 1:
         return False
-    return all(
-        svv[k] >= tvv[k] for k in range(len(svv)) if k != origin
-    )
+    index = 0
+    for wanted in want:
+        if index != origin and have[index] < wanted:
+            return False
+        index += 1
+    return True
 
 
 def satisfies_session(svv: VersionVector, cvv: VersionVector) -> bool:

@@ -31,6 +31,20 @@ UNFAULTED_FINGERPRINTS = {
     "leap": "5384a0464cc802f4",
 }
 
+#: Digests of a canonical crash-restart run, one per system: the same
+#: seeded run *with* a fault plan installed. Together with the
+#: unfaulted pins these prove that performance work on the simulation
+#: substrate changes neither the hardened nor the legacy code paths.
+#: The payload additionally covers aborts by reason and the fault
+#: timeline, since those are the observable outputs of a faulted run.
+FAULTED_FINGERPRINTS = {
+    "dynamast": "e0109c603f424e0a",
+    "single-master": "11214a1a6c5f9e3b",
+    "multi-master": "84c0d4364a45a089",
+    "partition-store": "7d0654b2892f495e",
+    "leap": "24c39234fcac0eb9",
+}
+
 
 def _workload():
     return YCSBWorkload(
@@ -61,6 +75,33 @@ def _fingerprint(result):
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()
     ).hexdigest()[:16]
+
+
+def _fingerprint_faulted(result):
+    payload = {
+        "commits": result.metrics.commits,
+        "commit_time_sum": round(sum(result.metrics.commit_times), 6),
+        "traffic": sorted(result.traffic_bytes.items()),
+        "aborts_by_reason": sorted(result.metrics.aborts_by_reason.items()),
+        "fault_events": [
+            (round(event.at_ms, 6), event.kind, event.site)
+            for event in result.fault_events
+        ],
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+class TestFaultedBitIdentity:
+    def test_crash_restart_runs_match_pinned_fingerprints(self):
+        for system, expected in FAULTED_FINGERPRINTS.items():
+            plan = build_scenario("crash-restart", num_sites=3, duration_ms=1500.0)
+            result = _run(system, fault_plan=plan, duration_ms=1500.0)
+            assert _fingerprint_faulted(result) == expected, (
+                f"{system}: faulted run diverged from the pinned baseline "
+                "— an optimization changed hardened-path behavior"
+            )
 
 
 class TestUnfaultedBitIdentity:

@@ -1,0 +1,179 @@
+"""Tests for the perf regression harness and host-cost surfaces.
+
+Covers the two halves of the wall-clock contract:
+
+* :class:`repro.bench.harness.RunResult` reports host cost
+  (``wall_clock_s``, ``events_processed``) without perturbing simulated
+  results — repeated runs agree on every simulated quantity while the
+  host measurements ride along outside the fingerprint payload;
+* :mod:`repro.bench.perf` — the pinned matrix, calibration
+  normalization, report comparison, and the committed
+  ``BENCH_perf.json`` staying consistent with the matrix in code.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import run_benchmark
+from repro.bench.perf import (
+    DEFAULT_TOLERANCE,
+    PERF_MATRIX,
+    QUICK_CASES,
+    SCHEMA,
+    _normalize,
+    attach_baseline,
+    compare_reports,
+    load_report,
+    select_cases,
+)
+from repro.sim.config import ClusterConfig
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _small_run():
+    return run_benchmark(
+        "dynamast",
+        YCSBWorkload(YCSBConfig(num_partitions=40, rmw_fraction=0.5)),
+        num_clients=4,
+        duration_ms=200.0,
+        warmup_ms=50.0,
+        cluster_config=ClusterConfig(num_sites=2),
+        seed=3,
+    )
+
+
+class TestRunResultHostMetrics:
+    def test_wall_clock_and_event_count_populated(self):
+        result = _small_run()
+        assert result.wall_clock_s > 0.0
+        assert result.events_processed > 0
+
+    def test_host_metrics_excluded_from_simulated_results(self):
+        """Repeat runs agree bit-for-bit on everything simulated.
+
+        ``wall_clock_s`` is a host measurement and may differ between
+        the two runs; nothing that feeds a fingerprint may. The event
+        count is host-side bookkeeping but still deterministic: the
+        same seed drives the same event sequence.
+        """
+        first = _small_run()
+        second = _small_run()
+        assert first.metrics.commits == second.metrics.commits
+        assert first.metrics.commit_times == second.metrics.commit_times
+        assert first.latency().mean == second.latency().mean
+        assert first.traffic_bytes == second.traffic_bytes
+        assert first.events_processed == second.events_processed
+
+
+class TestPerfMatrix:
+    def test_case_names_unique(self):
+        names = [case.name for case in PERF_MATRIX]
+        assert len(names) == len(set(names))
+
+    def test_quick_subset_is_drawn_from_the_matrix(self):
+        names = {case.name for case in PERF_MATRIX}
+        assert set(QUICK_CASES) <= names
+        quick = select_cases(quick=True)
+        assert [case.name for case in quick] == [
+            case.name for case in PERF_MATRIX if case.name in QUICK_CASES
+        ]
+
+    def test_every_case_builds_its_workload(self):
+        for case in PERF_MATRIX:
+            workload = case.build_workload()
+            assert workload.scheme is not None
+
+
+class TestNormalize:
+    def test_faster_host_is_scaled_up(self):
+        # Twice the calibration score -> the same wall seconds count
+        # double when expressed in baseline-machine time.
+        assert _normalize(1.0, 2000.0, 1000.0) == pytest.approx(2.0)
+
+    def test_slower_host_is_scaled_down(self):
+        assert _normalize(2.0, 500.0, 1000.0) == pytest.approx(1.0)
+
+    def test_missing_calibration_is_a_passthrough(self):
+        assert _normalize(1.5, 0.0, 1000.0) == 1.5
+        assert _normalize(1.5, 1000.0, 0.0) == 1.5
+
+
+def _report(cases, kops=1000.0):
+    return {
+        "schema": SCHEMA,
+        "machine": {"calibration_kops": kops},
+        "cases": {
+            name: {"wall_s": wall, "events_per_s": 1, "peak_rss_kb": 1}
+            for name, wall in cases.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_within_tolerance_is_not_flagged(self):
+        committed = _report({"a": 1.0})
+        current = _report({"a": 1.0 + DEFAULT_TOLERANCE - 0.01})
+        rows = compare_reports(current, committed)
+        assert [row["regressed"] for row in rows] == [False]
+
+    def test_beyond_tolerance_is_flagged(self):
+        committed = _report({"a": 1.0, "b": 2.0})
+        current = _report({"a": 1.5, "b": 2.0})
+        rows = {row["case"]: row for row in compare_reports(current, committed)}
+        assert rows["a"]["regressed"] is True
+        assert rows["b"]["regressed"] is False
+
+    def test_calibration_normalization_excuses_a_slow_host(self):
+        committed = _report({"a": 1.0}, kops=1000.0)
+        # Host is half as fast and the run took twice as long: the code
+        # did not regress, and normalization must agree.
+        current = _report({"a": 2.0}, kops=500.0)
+        rows = compare_reports(current, committed)
+        assert rows[0]["regressed"] is False
+        assert rows[0]["normalized_wall_s"] == pytest.approx(1.0)
+
+    def test_unshared_cases_are_skipped(self):
+        committed = _report({"a": 1.0})
+        current = _report({"b": 1.0})
+        assert compare_reports(current, committed) == []
+
+
+class TestAttachBaseline:
+    def test_embeds_baseline_and_mean_reduction(self):
+        payload = _report({"a": 0.5, "b": 1.0})
+        baseline = _report({"a": 1.0, "b": 2.0})
+        attach_baseline(payload, baseline, "before")
+        assert payload["baseline"]["label"] == "before"
+        assert set(payload["baseline"]["cases"]) == {"a", "b"}
+        comparison = payload["comparison"]
+        assert comparison["vs"] == "before"
+        assert comparison["per_case"]["a"]["speedup"] == pytest.approx(2.0)
+        assert comparison["mean_wall_reduction"] == pytest.approx(0.5)
+
+
+class TestReportFile:
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        bad = tmp_path / "report.json"
+        bad.write_text(json.dumps({"schema": "repro-perf/0", "cases": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_report(str(bad))
+
+    def test_committed_report_matches_the_pinned_matrix(self):
+        """BENCH_perf.json must describe exactly the matrix in code.
+
+        If a case is added, removed, or renamed, the committed report
+        has to be refreshed in the same change (EXPERIMENTS.md,
+        "Performance baseline").
+        """
+        payload = load_report(str(REPO_ROOT / "BENCH_perf.json"))
+        assert set(payload["cases"]) == {case.name for case in PERF_MATRIX}
+        for case in payload["cases"].values():
+            assert case["wall_s"] > 0
+            assert case["sim_events"] > 0
+            assert case["commits"] > 0
+        if "comparison" in payload:
+            assert set(payload["comparison"]["per_case"]) <= set(payload["cases"])
