@@ -1,6 +1,6 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test lint bench examples quick chaos perf perf-check clean
+.PHONY: install test lint bench examples quick chaos explain-smoke perf perf-check clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -37,6 +37,17 @@ chaos:
 	python -m repro chaos --system multi-master --scenario partition --duration 2000 --clients 8
 	python -m repro chaos --system partition-store --scenario lossy --duration 2000 --clients 8
 	python -m repro chaos --system leap --scenario crash-restart --duration 2000 --clients 8
+
+# Tiny observed run asserting the attribution invariant: the budget
+# categories must sum to ~100% of measured commit latency (DESIGN.md
+# §6.5). Leaves explain_report.json for CI to upload as an artifact.
+explain-smoke:
+	python -m repro explain --system dynamast --clients 4 --duration 300 --sites 2 --seed 7 --export explain_report.json
+	python -c "import json; r = json.load(open('explain_report.json')); \
+	  assert abs(r['coverage'] - 1.0) < 1e-6, r['coverage']; \
+	  total = sum(r['aggregate']['categories'].values()); \
+	  assert abs(total - r['total_latency_ms']) < 1e-6, (total, r['total_latency_ms']); \
+	  print('explain-smoke OK:', r['txn_count'], 'txns, coverage %.6f' % r['coverage'])"
 
 # Full perf matrix; refreshes BENCH_perf.json (see DESIGN.md §8).
 perf:

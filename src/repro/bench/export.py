@@ -63,10 +63,28 @@ def run_to_row(result: RunResult) -> Dict[str, object]:
     }
 
 
+def attach_attribution(row: Dict[str, object], result: RunResult) -> None:
+    """Add ``attrib_<category>_share`` columns for an observed run.
+
+    No-op for unobserved runs, so plain bench exports keep their exact
+    schema; observed exports gain one share column per attribution
+    category (summing to ~1.0).
+    """
+    if result.obs is None or not result.obs.enabled:
+        return
+    from repro.obs.attribution import AttributionReport
+
+    report = AttributionReport.from_result(result, keep_segments=False)
+    for category, share in report.shares().items():
+        row[f"attrib_{category}_share"] = round(share, 5)
+
+
 def rows_from(results) -> List[Dict[str, object]]:
     """Flatten a RunResult, a mapping of them, or nested mappings."""
     if isinstance(results, RunResult):
-        return [run_to_row(results)]
+        row = run_to_row(results)
+        attach_attribution(row, results)
+        return [row]
     if isinstance(results, Mapping):
         rows: List[Dict[str, object]] = []
         for key, value in results.items():
@@ -88,6 +106,12 @@ def to_csv(results) -> str:
     fields = list(FIELDS)
     if any("label" in row for row in rows):
         fields = ["label"] + fields
+    # Observed runs carry attribution share columns; keep the column
+    # set stable across rows by taking the union in category order.
+    attrib = sorted({
+        key for row in rows for key in row if key.startswith("attrib_")
+    })
+    fields += attrib
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=fields, extrasaction="ignore")
     writer.writeheader()

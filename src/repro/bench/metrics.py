@@ -197,6 +197,85 @@ class Metrics:
             return 0.0
         return self.remastered_txns / self.commits
 
+    def to_prometheus(self, labels: Optional[Dict[str, str]] = None) -> str:
+        """Render these metrics in Prometheus text exposition format.
+
+        Commit/abort/retry counts become counters (aborts labelled by
+        transaction type and reason), phase totals a counter labelled
+        by phase, and per-type latencies ``repro_latency_ms``
+        histograms (exact sample lists are streamed into the standard
+        log-bucketed geometry first, so both collection modes expose
+        the same shape). ``labels`` are attached to every sample.
+        """
+        from repro.obs.registry import (
+            _format_labels,
+            _format_value,
+            _merge_labels,
+        )
+
+        lines: List[str] = []
+
+        def counter(name: str, samples: List[Tuple[Dict[str, str], float]]) -> None:
+            lines.append(f"# TYPE {name} counter")
+            for extra, value in samples:
+                merged = _merge_labels(labels, extra)
+                lines.append(f"{name}{_format_labels(merged)} {_format_value(value)}")
+
+        counter("repro_commits_total", [({}, self.commits)])
+        counter("repro_remastered_txns_total", [({}, self.remastered_txns)])
+        counter("repro_distributed_txns_total", [({}, self.distributed_txns)])
+        counter("repro_retries_total", [({}, self.retries)])
+        if self.aborts:
+            counter("repro_aborts_total", [
+                ({"txn_type": txn_type}, count)
+                for txn_type, count in sorted(self.aborts.items())
+            ])
+        if self.aborts_by_reason:
+            counter("repro_aborts_by_reason_total", [
+                ({"reason": reason}, count)
+                for reason, count in sorted(self.aborts_by_reason.items())
+            ])
+        if self.phase_totals:
+            counter("repro_phase_ms_total", [
+                ({"phase": phase}, total)
+                for phase, total in sorted(self.phase_totals.items())
+            ])
+        if self.latencies:
+            lines.append("# TYPE repro_latency_ms histogram")
+        for txn_type in self.txn_types():
+            samples = self.latencies[txn_type]
+            if isinstance(samples, StreamingHistogram):
+                histogram = samples
+            else:
+                histogram = StreamingHistogram(f"latency.{txn_type}")
+                for sample in samples:
+                    histogram.record(sample)
+            series = _merge_labels(labels, {"txn_type": txn_type})
+            cumulative = 0
+            for lower, count in histogram.bucket_counts():
+                cumulative += count
+                upper = (
+                    histogram.base if lower == 0.0
+                    else lower * histogram.growth
+                )
+                bucket = _merge_labels(series, {"le": _format_value(upper)})
+                lines.append(
+                    f"repro_latency_ms_bucket{_format_labels(bucket)} {cumulative}"
+                )
+            inf_bucket = _merge_labels(series, {"le": "+Inf"})
+            lines.append(
+                f"repro_latency_ms_bucket{_format_labels(inf_bucket)} "
+                f"{histogram.count}"
+            )
+            lines.append(
+                f"repro_latency_ms_sum{_format_labels(series)} "
+                f"{_format_value(histogram.total)}"
+            )
+            lines.append(
+                f"repro_latency_ms_count{_format_labels(series)} {histogram.count}"
+            )
+        return "\n".join(lines) + "\n" if lines else ""
+
     # -- aborts ---------------------------------------------------------------
 
     @property

@@ -89,3 +89,33 @@ def print_run_report(result) -> None:
                 for name, timeline in sorted(result.timelines.items())
             ],
         )
+    if result.obs is not None and result.obs.enabled:
+        print_attribution(result)
+
+
+def print_attribution(result) -> None:
+    """Print the latency-budget table of an observed run.
+
+    Imports lazily so unobserved bench paths never load the causal
+    layer.
+    """
+    from repro.obs.attribution import (
+        AttributionReport, budget_headers, budget_rows,
+    )
+
+    report = AttributionReport.from_result(result)
+    if not report.txns:
+        return
+    print_table(
+        "latency attribution (share of quantile latency per category)",
+        budget_headers(),
+        budget_rows(report),
+    )
+    blame = report.blame(top=5)
+    if blame:
+        print_table(
+            "p95+ tail blame",
+            ["category", "track", "ms", "share"],
+            [[b["category"], b["track"], f"{b['ms']:,.1f}",
+              f"{b['share']:.1%}"] for b in blame],
+        )

@@ -8,6 +8,9 @@ Commands:
   comparison table;
 * ``trace`` — run one combination with full observability and export
   Chrome-trace / JSON-lines files for Perfetto;
+* ``explain`` — run one combination traced and attribute commit
+  latency to causal categories (``--txn`` waterfalls, ``--vs`` /
+  ``--diff`` budget comparisons, ``--export`` JSON reports);
 * ``chaos`` — run a named fault scenario against one system and print
   the availability timeline (optionally exporting it as CSV);
 * ``perf`` — run the pinned wall-clock matrix, write ``BENCH_perf.json``,
@@ -129,6 +132,121 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _explain_report(system: str, args):
+    """Run ``system`` observed and build its attribution report."""
+    from repro.obs import Observability
+    from repro.obs.attribution import AttributionReport
+
+    obs = Observability()
+    result = run_one(system, args, obs=obs)
+    report = AttributionReport.from_result(result, seed=args.seed)
+    report.meta["sites"] = args.sites
+    return report
+
+
+def _print_budget(report) -> None:
+    from repro.obs.attribution import budget_headers, budget_rows
+
+    meta = report.meta
+    print_table(
+        f"latency budget: {meta.get('system')} on {meta.get('workload')} "
+        f"(seed {meta.get('seed')}, {len(report.txns)} committed txns, "
+        f"coverage {report.coverage():.6f})",
+        budget_headers(),
+        budget_rows(report),
+    )
+    blame = report.blame()
+    if blame:
+        print_table(
+            "p95+ tail blame (who owns the tail)",
+            ["category", "track", "ms", "share"],
+            [[b["category"], b["track"], f"{b['ms']:,.1f}", f"{b['share']:.1%}"]
+             for b in blame],
+        )
+    edges = report.edge_summary
+    rows = [[kind, count] for kind, count in edges.get("kinds", {}).items()]
+    for holder, count in edges.get("lock_blame", {}).items():
+        rows.append([f"lock wait-for holder: {holder}", count])
+    for origin, count in edges.get("refresh_origins", {}).items():
+        rows.append([f"refresh lag origin: {origin}", count])
+    if rows:
+        print_table("causal edges", ["edge", "count"], rows)
+
+
+def _print_diff(diff) -> None:
+    print_table(
+        f"budget diff: {diff['a']} ({diff['a_txns']} txns) vs "
+        f"{diff['b']} ({diff['b_txns']} txns)",
+        ["category", f"{diff['a']} ms", f"{diff['b']} ms", "delta ms",
+         f"{diff['a']} share", f"{diff['b']} share"],
+        [
+            [row["category"], f"{row['a_ms']:,.1f}", f"{row['b_ms']:,.1f}",
+             f"{row['delta_ms']:+,.1f}", f"{row['a_share']:.1%}",
+             f"{row['b_share']:.1%}"]
+            for row in diff["rows"]
+        ],
+    )
+
+
+def cmd_explain(args) -> int:
+    import json
+
+    from repro.obs.attribution import AttributionError, diff_reports, render_waterfall
+
+    if args.diff:
+        try:
+            loaded = []
+            for path in args.diff:
+                with open(path) as handle:
+                    loaded.append(json.load(handle))
+            diff = diff_reports(*loaded)
+        except (OSError, json.JSONDecodeError, AttributionError) as exc:
+            print(f"repro explain: error: {exc}", file=sys.stderr)
+            return 2
+        _print_diff(diff)
+        return 0
+
+    report = _explain_report(args.system, args)
+    if not report.txns:
+        print("repro explain: error: no committed transactions to attribute "
+              "(run longer or with more clients)", file=sys.stderr)
+        return 2
+
+    if args.txn is not None:
+        txn = report.find(args.txn)
+        if txn is None:
+            print(f"repro explain: error: txn {args.txn} was not attributed "
+                  f"(unknown id, aborted, or started during warmup)",
+                  file=sys.stderr)
+            return 2
+        print(render_waterfall(txn))
+        return 0
+
+    _print_budget(report)
+    print()
+    print(f"== {args.exemplars} worst transactions (waterfalls) ==")
+    for txn in report.tail_exemplars(args.exemplars):
+        print()
+        print(render_waterfall(txn))
+
+    if args.vs:
+        vs_report = _explain_report(args.vs, args)
+        _print_budget(vs_report)
+        try:
+            diff = diff_reports(report.to_dict(), vs_report.to_dict())
+        except AttributionError as exc:
+            print(f"repro explain: error: {exc}", file=sys.stderr)
+            return 2
+        _print_diff(diff)
+
+    if args.export:
+        with open(args.export, "w") as handle:
+            json.dump(report.to_dict(exemplars=args.exemplars), handle,
+                      indent=2, sort_keys=True)
+        print(f"wrote {args.export}", file=sys.stderr)
+    return 0
+
+
 def cmd_compare(args) -> int:
     systems = args.systems.split(",") if args.systems else list(ALL_SYSTEMS)
     rows = []
@@ -166,6 +284,11 @@ def cmd_compare(args) -> int:
 def cmd_chaos(args) -> int:
     from repro.faults.chaos import run_chaos
 
+    obs = None
+    if args.explain:
+        from repro.obs import Observability
+
+        obs = Observability()
     report = run_chaos(
         args.system,
         args.scenario,
@@ -174,6 +297,7 @@ def cmd_chaos(args) -> int:
         duration_ms=args.duration,
         bucket_ms=args.bucket,
         seed=args.seed,
+        obs=obs,
     )
     print_table(
         f"chaos: {args.system} under {args.scenario} "
@@ -196,6 +320,19 @@ def cmd_chaos(args) -> int:
     for at_ms, kind, site in report.fault_events:
         summary.append([f"{kind} site{site}", f"at {at_ms:g} ms"])
     print_table("chaos summary", ["metric", "value"], summary)
+    if args.explain:
+        blame = report.dip_blame()
+        if blame is not None:
+            steady, degraded, shifts = blame
+            print_table(
+                "availability-dip attribution (share of commit latency)",
+                ["category", "steady", "degraded", "shift"],
+                [
+                    [category, f"{steady[category]:.1%}",
+                     f"{degraded[category]:.1%}", f"{delta:+.1%}"]
+                    for category, delta in shifts
+                ],
+            )
     if args.out:
         report.write_csv(args.out)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -280,6 +417,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_common_arguments(trace)
     trace.set_defaults(fn=cmd_trace)
 
+    explain = commands.add_parser(
+        "explain", help="attribute commit latency to causal categories"
+    )
+    explain.add_argument("--system", choices=ALL_SYSTEMS, default="dynamast")
+    explain.add_argument("--txn", type=int, default=None,
+                         help="print one transaction's critical-path waterfall")
+    explain.add_argument("--vs", choices=ALL_SYSTEMS, default="",
+                         help="also run this system and diff the two budgets")
+    explain.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
+                         help="compare two exported reports (no run); exits 2 "
+                              "on malformed or mismatched pairs")
+    explain.add_argument("--export", default="",
+                         help="write the attribution report as JSON")
+    explain.add_argument("--exemplars", type=int, default=3,
+                         help="worst-transaction waterfalls to print")
+    add_common_arguments(explain)
+    explain.set_defaults(fn=cmd_explain)
+
     from repro.faults.plan import SCENARIOS
 
     chaos = commands.add_parser(
@@ -295,6 +450,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="availability bucket width, simulated ms")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--out", default="", help="write the timeline as CSV")
+    chaos.add_argument("--explain", action="store_true",
+                       help="trace the run and attribute the availability dip")
     chaos.set_defaults(fn=cmd_chaos)
 
     from repro.bench.perf import DEFAULT_REPORT, DEFAULT_TOLERANCE

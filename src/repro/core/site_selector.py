@@ -120,7 +120,8 @@ class SiteSelector:
         route_started = env.now
         partitions = sorted(self.scheme.partitions_of(txn.write_set))
         lock_started = env.now
-        yield from self.cpu.use(self.config.costs.route_lookup_ms)
+        yield from self.cpu.use(self.config.costs.route_lookup_ms,
+                                txn=txn, track="selector")
         for partition in partitions:
             yield self.table.info(partition).lock.acquire_read()
         txn.add_timing("selector_lock", env.now - lock_started)
@@ -160,7 +161,8 @@ class SiteSelector:
                             track="selector", txn=txn, site=site)
             return RouteResult(site, None, tuple(partitions), False)
 
-        yield from self.cpu.use(self.config.costs.remaster_decision_ms)
+        yield from self.cpu.use(self.config.costs.remaster_decision_ms,
+                                txn=txn, track="selector")
         site_vvs = [site.svv for site in self.cluster.sites]
         session_vv = session.cvv if session is not None else None
         destination, _scores = self.strategy.choose_site(
@@ -266,6 +268,11 @@ class SiteSelector:
             tracer.span("grant", grant_started, self.env.now,
                         track=f"site{destination}", txn=txn,
                         partitions=len(partitions), source=source)
+            tracer.edge("remaster", release_started, txn=txn,
+                        track="selector", source=source,
+                        destination=destination,
+                        partitions=len(partitions),
+                        waited=self.env.now - release_started)
         return grant_vv
 
     # -- fault-aware write routing ---------------------------------------------
@@ -293,7 +300,8 @@ class SiteSelector:
         token = (txn.txn_id, self._route_seq)
         self._route_seq += 1
         partitions = sorted(self.scheme.partitions_of(txn.write_set))
-        yield from self.cpu.use(self.config.costs.route_lookup_ms)
+        yield from self.cpu.use(self.config.costs.route_lookup_ms,
+                                txn=txn, track="selector")
         for partition in partitions:
             yield self.table.info(partition).lock.acquire_read()
         self.statistics.observe(env.now, txn.client_id, partitions)
@@ -320,7 +328,8 @@ class SiteSelector:
                     return RouteResult(
                         only, None, tuple(partitions), False, token=token
                     )
-            yield from self.cpu.use(self.config.costs.remaster_decision_ms)
+            yield from self.cpu.use(self.config.costs.remaster_decision_ms,
+                                    txn=txn, track="selector")
             destination, min_vv, moved, operations = yield from self._remaster_faulted(
                 partitions, txn, session
             )
@@ -434,6 +443,8 @@ class SiteSelector:
         sites = self.cluster.sites
         policy = RetryPolicy(faults.rpc, faults.rng)
         timeout_ms = faults.rpc.remaster_timeout_ms
+        tracer = env.obs.tracer
+        chain_started = env.now
 
         release_vv = None
         failures = 0
@@ -475,6 +486,12 @@ class SiteSelector:
                     category="remaster",
                     timeout_ms=timeout_ms,
                 )
+                if tracer.enabled:
+                    tracer.edge("remaster", chain_started, txn=txn,
+                                track="selector", source=source,
+                                destination=target,
+                                partitions=len(partitions),
+                                waited=env.now - chain_started)
                 return target, grant_vv
             except SiteDown:
                 continue  # re-picks a live target
@@ -533,7 +550,8 @@ class SiteSelector:
         everything).
         """
         route_started = self.env.now
-        yield from self.cpu.use(self.config.costs.route_lookup_ms)
+        yield from self.cpu.use(self.config.costs.route_lookup_ms,
+                                txn=txn, track="selector")
         faults = self.cluster.faults
         if faults is None:
             candidates = self.cluster.sites

@@ -50,6 +50,60 @@ class ChaosReport:
     fault_events: List[Tuple[float, str, int]]
     result: Optional[RunResult] = field(repr=False, default=None)
 
+    # -- latency attribution (observed chaos runs only) ----------------------
+
+    def attribution(self):
+        """The run's :class:`~repro.obs.attribution.AttributionReport`.
+
+        None unless the chaos run was observed (``run_chaos(..., obs=...)``).
+        """
+        if self.result is None or self.result.obs is None \
+                or not self.result.obs.enabled:
+            return None
+        from repro.obs.attribution import AttributionReport
+
+        return AttributionReport.from_result(self.result)
+
+    def degraded_windows(self) -> List[Tuple[float, float]]:
+        """``[crash, restart)`` windows during which any site was down."""
+        windows: List[Tuple[float, float]] = []
+        down = 0
+        opened = 0.0
+        for at_ms, kind, _site in self.fault_events:
+            if kind == "restart":
+                down -= 1
+                if down == 0:
+                    windows.append((opened, at_ms))
+            else:
+                if down == 0:
+                    opened = at_ms
+                down += 1
+        if down > 0:
+            windows.append((opened, self.duration_ms))
+        return windows
+
+    def dip_blame(self):
+        """Attribute the availability dip: steady vs degraded budgets.
+
+        Splits committed transactions by whether they began while a
+        site was down and returns ``(steady_shares, degraded_shares,
+        top_shifts)`` — the categories whose share grew most during the
+        dip (e.g. lock inheritance at the crashed site's partitions vs
+        rerouting/remastering cost). None for unobserved runs.
+        """
+        report = self.attribution()
+        if report is None:
+            return None
+        from repro.obs.attribution import split_by_windows
+
+        steady, degraded = split_by_windows(report, self.degraded_windows())
+        shifts = sorted(
+            ((category, degraded[category] - steady[category])
+             for category in degraded),
+            key=lambda item: -abs(item[1]),
+        )
+        return steady, degraded, shifts[:5]
+
     # -- availability summary ------------------------------------------------
 
     def steady_rate(self) -> float:
@@ -112,6 +166,7 @@ def run_chaos(
     seed: int = 0,
     workload=None,
     plan: Optional[FaultPlan] = None,
+    obs=None,
 ) -> ChaosReport:
     """Run ``scenario`` against ``system_name`` and report availability.
 
@@ -119,6 +174,9 @@ def run_chaos(
     ``scenario`` string then only labels the report). The default
     workload is contended YCSB (50% RMW, moderate skew) — enough write
     conflicts that the fault handling actually gets exercised.
+    Passing ``obs`` (an :class:`~repro.obs.Observability`) traces the
+    run so :meth:`ChaosReport.dip_blame` can attribute the availability
+    dip.
     """
     if plan is None:
         plan = build_scenario(scenario, num_sites=num_sites, duration_ms=duration_ms)
@@ -135,6 +193,7 @@ def run_chaos(
         cluster_config=ClusterConfig(num_sites=num_sites),
         seed=seed,
         fault_plan=plan,
+        obs=obs,
     )
 
     commit_rates = _rate_series(

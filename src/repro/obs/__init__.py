@@ -25,6 +25,20 @@ protocol paths check ``tracer.enabled`` once and skip span
 construction entirely when unobserved (DESIGN.md §8).
 """
 
+from repro.obs.attribution import (
+    AttributionError,
+    AttributionReport,
+    TxnAttribution,
+    diff_reports,
+    render_waterfall,
+)
+from repro.obs.causal import (
+    CATEGORIES,
+    EDGE_KINDS,
+    PathSegment,
+    critical_path,
+    path_categories,
+)
 from repro.obs.export import (
     flame_summary,
     reconcile_with_metrics,
@@ -37,6 +51,7 @@ from repro.obs.registry import Counter, Gauge, MetricsRegistry, StreamingHistogr
 from repro.obs.sampler import Timeline, TimelineSampler, attach_cluster_probes
 from repro.obs.tracer import (
     NULL_TRACER,
+    EdgeRecord,
     InstantRecord,
     NullTracer,
     SpanNode,
@@ -46,24 +61,35 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "CATEGORIES",
+    "EDGE_KINDS",
     "NULL_OBS",
     "NULL_TRACER",
+    "AttributionError",
+    "AttributionReport",
     "Counter",
+    "EdgeRecord",
     "Gauge",
     "InstantRecord",
     "MetricsRegistry",
     "NullTracer",
     "Observability",
+    "PathSegment",
     "SpanNode",
     "SpanRecord",
     "StreamingHistogram",
     "Timeline",
     "TimelineSampler",
     "Tracer",
+    "TxnAttribution",
     "TxnRecord",
     "attach_cluster_probes",
+    "critical_path",
+    "diff_reports",
     "flame_summary",
+    "path_categories",
     "reconcile_with_metrics",
+    "render_waterfall",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",

@@ -11,7 +11,8 @@ within one bucket's relative width of the exact sample quantile.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -19,6 +20,54 @@ __all__ = [
     "MetricsRegistry",
     "StreamingHistogram",
 ]
+
+_NAME_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """Sanitize a metric name for the text exposition format.
+
+    Valid characters are ``[a-zA-Z_:][a-zA-Z0-9_:]*``; anything else
+    becomes an underscore, and a leading digit gets one prepended.
+    """
+    sanitized = _NAME_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double-quote, and newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Optional[Mapping[str, str]]) -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{_prometheus_name(key)}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def _merge_labels(base: Optional[Mapping[str, str]],
+                  extra: Dict[str, str]) -> Dict[str, str]:
+    merged = dict(base) if base else {}
+    merged.update(extra)
+    return merged
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
 
 
 class Counter:
@@ -178,6 +227,60 @@ class MetricsRegistry:
                 name, base=base, growth=growth
             )
         return histogram
+
+    def to_prometheus(self, labels: Optional[Mapping[str, str]] = None) -> str:
+        """Render every instrument in Prometheus text exposition format.
+
+        Counters become ``counter`` samples, gauges ``gauge`` samples,
+        and each streaming histogram a Prometheus histogram: cumulative
+        ``_bucket{le="..."}`` samples over the log-bucket upper bounds
+        (underflow under ``le="<base>"``), a ``+Inf`` bucket, and
+        ``_sum`` / ``_count``. ``labels`` (e.g. ``{"system":
+        "dynamast", "seed": "3"}``) are attached to every sample, with
+        values escaped per the format (backslash, quote, newline).
+        """
+        lines: List[str] = []
+        for name, counter in sorted(self.counters.items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(
+                f"{metric}{_format_labels(labels)} {_format_value(counter.value)}"
+            )
+        for name, gauge in sorted(self.gauges.items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(
+                f"{metric}{_format_labels(labels)} {_format_value(gauge.value)}"
+            )
+        for name, histogram in sorted(self.histograms.items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            if histogram._underflow:
+                cumulative += histogram._underflow
+                bucket_labels = _merge_labels(
+                    labels, {"le": _format_value(histogram.base)}
+                )
+                lines.append(
+                    f"{metric}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                )
+            for index in sorted(histogram._buckets):
+                cumulative += histogram._buckets[index]
+                upper = histogram.base * histogram.growth ** (index + 1)
+                bucket_labels = _merge_labels(labels, {"le": _format_value(upper)})
+                lines.append(
+                    f"{metric}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                )
+            inf_labels = _merge_labels(labels, {"le": "+Inf"})
+            lines.append(
+                f"{metric}_bucket{_format_labels(inf_labels)} {histogram.count}"
+            )
+            lines.append(
+                f"{metric}_sum{_format_labels(labels)} "
+                f"{_format_value(histogram.total)}"
+            )
+            lines.append(f"{metric}_count{_format_labels(labels)} {histogram.count}")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def snapshot(self) -> Dict[str, object]:
         """Plain-data dump of every instrument (for JSON export)."""

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "NULL_TRACER",
+    "EdgeRecord",
     "InstantRecord",
     "NullTracer",
     "SpanNode",
@@ -59,6 +60,28 @@ class InstantRecord:
     args: Tuple[Tuple[str, Any], ...] = ()
 
 
+@dataclass(frozen=True, slots=True)
+class EdgeRecord:
+    """One causal edge: *why* a transaction waited at instant ``ts``.
+
+    Edges complement spans: a span says a wait happened, an edge names
+    the other party — the holder of the lock we queued on, the lagging
+    replication origin a snapshot read waited to apply, the paired RPC,
+    the remaster chain, the 2PC round. Kinds in use (DESIGN.md §6.5):
+    ``lock_wait``, ``refresh_wait``, ``rpc``, ``remaster``,
+    ``2pc_round``, ``cpu_queue``.
+    """
+
+    kind: str
+    ts: float
+    #: The waiting/affected transaction.
+    txn_id: Optional[int]
+    #: The transaction blamed for the wait (lock holder), or None.
+    src_txn_id: Optional[int]
+    track: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+
 @dataclass(slots=True)
 class TxnRecord:
     """The envelope of one traced transaction."""
@@ -88,6 +111,10 @@ class SpanNode:
 
     span: SpanRecord
     children: List["SpanNode"] = field(default_factory=list)
+    #: True for crash-severed spans that outlived (or never fit) the
+    #: transaction envelope; such spans are surfaced as flagged roots
+    #: and never adopt in-envelope children.
+    orphan: bool = False
 
     @property
     def name(self) -> str:
@@ -130,6 +157,10 @@ class NullTracer:
                 track: str = "", txn=None, **args) -> None:
         pass
 
+    def edge(self, kind: str, ts: float, *,
+             txn=None, src_txn=None, track: str = "", **args) -> None:
+        pass
+
 
 #: Shared no-op tracer instance (stateless, safe to share globally).
 NULL_TRACER = NullTracer()
@@ -143,6 +174,7 @@ class Tracer(NullTracer):
     def __init__(self):
         self.spans: List[SpanRecord] = []
         self.instants: List[InstantRecord] = []
+        self.edges: List[EdgeRecord] = []
         self.txns: Dict[int, TxnRecord] = {}
 
     # -- hooks (called from instrumented protocol code) ---------------------
@@ -185,6 +217,22 @@ class Tracer(NullTracer):
             tuple(sorted(args.items())),
         ))
 
+    def edge(self, kind: str, ts: float, *,
+             txn=None, src_txn=None, track: str = "", **args) -> None:
+        self.edges.append(EdgeRecord(
+            kind, ts,
+            txn.txn_id if txn is not None else None,
+            src_txn.txn_id if src_txn is not None else None,
+            track,
+            tuple(sorted(args.items())),
+        ))
+
+    def edges_of(self, txn_id: int) -> List[EdgeRecord]:
+        """All causal edges of one transaction, in timestamp order."""
+        mine = [e for e in self.edges if e.txn_id == txn_id]
+        mine.sort(key=lambda e: (e.ts, e.kind))
+        return mine
+
     # -- reconstruction ------------------------------------------------------
 
     def spans_of(self, txn_id: int) -> List[SpanRecord]:
@@ -199,10 +247,34 @@ class Tracer(NullTracer):
         Spans are sorted by (start asc, end desc); a span is a child of
         the innermost open span that fully contains it. Returns the
         forest of root nodes (usually one: the txn envelope span).
+
+        Crash handling: a mid-transaction site crash (or an abandoned
+        at-least-once RPC attempt) can leave spans that outlive the
+        transaction envelope — a severed lock wait whose release only
+        ran when the crash interrupted it, a handler that finished
+        after the client's timeout fired and the retry committed
+        elsewhere. By raw containment such a span could *adopt* the
+        retry's genuine spans as children (mis-parenting) or interleave
+        with them as an unmarked sibling (dangling). Spans outside the
+        ``[begin, end]`` envelope are therefore excluded from the
+        containment stack and returned as trailing roots flagged
+        ``orphan=True`` instead.
         """
+        record = self.txns.get(txn_id)
+        nested: List[SpanRecord] = []
+        orphans: List[SpanRecord] = []
+        if record is not None and record.end is not None:
+            eps = 1e-9
+            for span in self.spans_of(txn_id):
+                if span.start >= record.begin - eps and span.end <= record.end + eps:
+                    nested.append(span)
+                else:
+                    orphans.append(span)
+        else:
+            nested = self.spans_of(txn_id)
         roots: List[SpanNode] = []
         stack: List[SpanNode] = []
-        for span in self.spans_of(txn_id):
+        for span in nested:
             node = SpanNode(span)
             while stack and not _contains(stack[-1].span, span):
                 stack.pop()
@@ -211,6 +283,7 @@ class Tracer(NullTracer):
             else:
                 roots.append(node)
             stack.append(node)
+        roots.extend(SpanNode(span, orphan=True) for span in orphans)
         return roots
 
     # -- aggregation ---------------------------------------------------------

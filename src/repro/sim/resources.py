@@ -92,9 +92,32 @@ class Resource:
             self._in_use += 1
             nxt.succeed()
 
-    def use(self, duration: float) -> Generator:
-        """Hold one slot for ``duration`` time units (helper generator)."""
+    def use(self, duration: float, *, txn=None, track: str = "") -> Generator:
+        """Hold one slot for ``duration`` time units (helper generator).
+
+        When a ``txn`` is passed and tracing is on, time spent queued
+        behind a saturated resource is recorded as a ``cpu_queue`` span
+        (plus a causal edge carrying the queue depth). The bookkeeping
+        is pure recording — no extra events — so untraced runs are
+        bit-identical.
+        """
         request = self.request()
+        if txn is not None and not request.triggered:
+            tracer = self.env.obs.tracer
+            if tracer.enabled:
+                queued_at = self.env.now
+                depth = len(self._queue)
+                yield request
+                granted_at = self.env.now
+                tracer.span("cpu_queue", queued_at, granted_at,
+                            track=track, txn=txn, depth=depth)
+                tracer.edge("cpu_queue", queued_at, txn=txn, track=track,
+                            depth=depth, waited=granted_at - queued_at)
+                try:
+                    yield self.env.timeout(duration)
+                finally:
+                    self.release(request)
+                return
         yield request
         try:
             yield self.env.timeout(duration)

@@ -221,19 +221,21 @@ class DataSite:
             return None
         started = env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
+            if traced:
+                self._refresh_edge(tracer, txn, track, min_begin)
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", env.now - started)
         if traced:
             tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
 
         lock_started = env.now
-        yield from self.database.locks.acquire_all(txn.write_set)
+        yield from self.database.locks.acquire_all(txn.write_set, txn)
         txn.add_timing("lock_wait", env.now - lock_started)
         if traced:
             tracer.span("lock_wait", lock_started, env.now, track=track, txn=txn)
         try:
             begin_started = env.now
-            yield from self.cpu.use(costs.txn_begin_ms)
+            yield from self.cpu.use(costs.txn_begin_ms, txn=txn, track=track)
             begin_vv = self.svv.copy()
             txn.add_timing("begin", env.now - begin_started)
             if traced:
@@ -243,7 +245,7 @@ class DataSite:
             service = costs.execution_ms(
                 len(txn.read_set), len(txn.write_set), len(txn.scan_set)
             )
-            yield from self.cpu.use(service + txn.extra_cpu_ms)
+            yield from self.cpu.use(service + txn.extra_cpu_ms, txn=txn, track=track)
             for key in txn.read_set:
                 self.database.read(key, begin_vv)
             txn.add_timing("execute", env.now - execute_started)
@@ -251,7 +253,7 @@ class DataSite:
                 tracer.span("execute", execute_started, env.now, track=track, txn=txn)
 
             commit_started = env.now
-            yield from self.cpu.use(costs.txn_commit_ms)
+            yield from self.cpu.use(costs.txn_commit_ms, txn=txn, track=track)
             tvv = self._commit(txn, begin_vv)
             txn.add_timing("commit", env.now - commit_started)
             if traced:
@@ -261,6 +263,21 @@ class DataSite:
             if partitions:
                 self.activity.finish(self.index, partitions, token)
         return tvv
+
+    def _refresh_edge(self, tracer, txn, track, min_begin) -> None:
+        """Record which lagging replication origins a snapshot waits on.
+
+        Called (traced runs only) just before blocking on the version
+        watch: each ``(origin, have, need)`` names a pending update
+        stream this site must apply before the transaction may begin.
+        """
+        lagging = tuple(
+            (origin, self.svv[origin], min_begin[origin])
+            for origin in range(self.num_sites)
+            if self.svv[origin] < min_begin[origin]
+        )
+        tracer.edge("refresh_wait", self.env.now, txn=txn, track=track,
+                    lagging=lagging)
 
     def _commit(self, txn: Transaction, begin_vv: VersionVector) -> VersionVector:
         """Assign the commit timestamp, install versions, append to the log."""
@@ -295,6 +312,8 @@ class DataSite:
         track = f"site{self.index}" if traced else ""
         started = env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
+            if traced:
+                self._refresh_edge(tracer, txn, track, min_begin)
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", env.now - started)
         if traced:
@@ -303,10 +322,10 @@ class DataSite:
         read_keys = txn.read_set if keys is None else keys
         scan_keys = txn.scan_set if scans is None else scans
         execute_started = env.now
-        yield from self.cpu.use(costs.txn_begin_ms)
+        yield from self.cpu.use(costs.txn_begin_ms, txn=txn, track=track)
         begin_vv = self.svv.copy()
         service = costs.execution_ms(len(read_keys), 0, len(scan_keys))
-        yield from self.cpu.use(service + txn.extra_cpu_ms)
+        yield from self.cpu.use(service + txn.extra_cpu_ms, txn=txn, track=track)
         for key in read_keys:
             self.database.read(key, begin_vv)
         txn.add_timing("execute", env.now - execute_started)
@@ -446,12 +465,14 @@ class DataSite:
         track = f"site{self.index}" if traced else ""
         started = self.env.now
         if min_begin is not None and not self.svv.dominates(min_begin):
+            if traced:
+                self._refresh_edge(tracer, txn, track, min_begin)
             yield self.watch.wait_for(min_begin)
         txn.add_timing("freshness_wait", self.env.now - started)
         if traced:
             tracer.span("freshness_wait", started, self.env.now, track=track, txn=txn)
         lock_started = self.env.now
-        yield from self.database.locks.acquire_all(keys)
+        yield from self.database.locks.acquire_all(keys, txn)
         if self.network.faults is not None and txn.txn_id in self._branch_aborted:
             # The coordinator presumed-aborted this transaction while
             # the branch was still queued; grabbing the locks now would
@@ -465,11 +486,11 @@ class DataSite:
         if traced:
             tracer.span("lock_wait", lock_started, self.env.now, track=track, txn=txn)
         execute_started = self.env.now
-        yield from self.cpu.use(costs.txn_begin_ms)
+        yield from self.cpu.use(costs.txn_begin_ms, txn=txn, track=track)
         begin_vv = self.svv.copy()
         share = len(keys) / max(1, len(txn.write_set))
         service = costs.execution_ms(0, len(keys), 0) + txn.extra_cpu_ms * share
-        yield from self.cpu.use(service)
+        yield from self.cpu.use(service, txn=txn, track=track)
         # Trace-only: branch execution is deliberately not added to the
         # metrics breakdown (it overlaps other branches of the same txn).
         if traced:
@@ -480,14 +501,13 @@ class DataSite:
     def prepare_branch(self, txn: Transaction, keys: Tuple):
         """Round 2 of a distributed write: force-log the prepare record
         and vote yes. Locks remain held."""
-        started = self.env.now
-        yield from self.cpu.use(self.config.costs.prepare_ms)
         tracer = self.env.obs.tracer
+        track = f"site{self.index}" if tracer.enabled else ""
+        started = self.env.now
+        yield from self.cpu.use(self.config.costs.prepare_ms, txn=txn, track=track)
         if tracer.enabled:
-            tracer.span(
-                "branch_prepare", started, self.env.now,
-                track=f"site{self.index}", txn=txn,
-            )
+            tracer.span("branch_prepare", started, self.env.now,
+                        track=track, txn=txn)
         return True
 
     def commit_branch(self, txn: Transaction, keys: Tuple, begin_vv: VersionVector):
@@ -504,8 +524,13 @@ class DataSite:
                 return cached
             if (txn.txn_id, keys) not in self._branch_locked:
                 return None
+        tracer = self.env.obs.tracer
+        track = f"site{self.index}" if tracer.enabled else ""
         branch_started = self.env.now
-        yield from self.cpu.use(self.config.costs.decide_ms + self.config.costs.txn_commit_ms)
+        yield from self.cpu.use(
+            self.config.costs.decide_ms + self.config.costs.txn_commit_ms,
+            txn=txn, track=track,
+        )
         seq = self.svv.increment(self.index)
         tvv = begin_vv.copy()
         tvv[self.index] = seq
@@ -518,12 +543,9 @@ class DataSite:
         if self.network.faults is not None:
             self._branch_results[(txn.txn_id, keys)] = tvv
         self.database.locks.release_all(keys)
-        tracer = self.env.obs.tracer
         if tracer.enabled:
-            tracer.span(
-                "branch_commit", branch_started, self.env.now,
-                track=f"site{self.index}", txn=txn,
-            )
+            tracer.span("branch_commit", branch_started, self.env.now,
+                        track=track, txn=txn)
         return tvv
 
     def abort_branch(self, txn: Transaction, keys: Tuple):

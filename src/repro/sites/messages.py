@@ -59,6 +59,9 @@ def remote_call(
         if traced:
             tracer.span("network", response_started, env.now,
                         track="net", txn=txn, category=category)
+            tracer.edge("rpc", request_started, txn=txn, track="net",
+                        category=category, outcome="ok",
+                        rtt=env.now - request_started)
     return result
 
 
@@ -155,6 +158,16 @@ def guarded_call(
     dst = site.index
     budget = timeout_ms if timeout_ms is not None else faults.rpc.timeout_ms
     started = env.now
+    tracer = env.obs.tracer
+    traced = tracer.enabled and txn is not None
+
+    def _edge(outcome):
+        # Causal edge pairing this request with however it resolved
+        # (ok / down / timeout) — recorded at resolution time so the
+        # rtt covers the full round including injected losses.
+        tracer.edge("rpc", started, txn=txn, track="net",
+                    category=category, outcome=outcome, dst=dst,
+                    rtt=env.now - started)
 
     def _timed_out(dispatched):
         remaining = budget - (env.now - started)
@@ -168,6 +181,8 @@ def guarded_call(
     if network.leg_lost(src, dst):
         exc, remaining = _timed_out(dispatched=False)
         yield env.timeout(remaining)
+        if traced:
+            _edge("timeout")
         raise exc
     yield env.timeout(network.leg_delay(src, dst, request_size))
     if not site.alive:
@@ -176,9 +191,13 @@ def guarded_call(
         if network.leg_lost(dst, src):
             exc, remaining = _timed_out(dispatched=False)
             yield env.timeout(remaining)
+            if traced:
+                _edge("timeout")
             raise exc
         yield env.timeout(network.leg_delay(dst, src))
         faults.detector.report_down(dst)
+        if traced:
+            _edge("down")
         raise SiteDown(dst)
 
     # Dispatch: the handler runs on the destination, raced against the
@@ -191,6 +210,8 @@ def guarded_call(
     yield env.any_of([proc, deadline, crash])
     if proc.triggered and box.exc is not None:
         faults.detector.report_down(dst)
+        if traced:
+            _edge("down")
         raise box.exc
     if proc.triggered:
         # Response leg.
@@ -198,14 +219,22 @@ def guarded_call(
         if network.leg_lost(dst, src):
             exc, remaining = _timed_out(dispatched=True)
             yield env.timeout(remaining)
+            if traced:
+                _edge("timeout")
             raise exc
         yield env.timeout(network.leg_delay(dst, src, response_size))
         faults.detector.report_success(dst)
+        if traced:
+            _edge("ok")
         return box.result
     if crash.triggered:
         faults.detector.report_down(dst)
+        if traced:
+            _edge("down")
         raise SiteDown(dst)
     exc, _ = _timed_out(dispatched=True)
+    if traced:
+        _edge("timeout")
     raise exc
 
 

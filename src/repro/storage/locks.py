@@ -31,6 +31,15 @@ class LockTable:
         #: Total number of acquisitions that had to wait (contention stat).
         self.contended_acquires = 0
         self.total_acquires = 0
+        # Holder identity is tracked only when tracing is on (the
+        # tracer is fixed at Environment construction, so caching the
+        # flag here is safe); the untraced path is byte-identical to
+        # before this bookkeeping existed.
+        self._traced = env.obs.tracer.enabled
+        #: key -> transaction currently holding it (traced runs only).
+        self._owners: Dict[Any, Any] = {}
+        #: grant event -> (key, waiting txn), for ownership transfer.
+        self._waiting: Dict[Event, Any] = {}
 
     def is_locked(self, key: Any) -> bool:
         return key in self._queues
@@ -47,8 +56,14 @@ class LockTable:
         queue = self._queues.get(key)
         return len(queue) if queue else 0
 
-    def acquire(self, key: Any) -> Event:
-        """Event that triggers when the caller holds ``key``'s lock."""
+    def acquire(self, key: Any, owner: Any = None) -> Event:
+        """Event that triggers when the caller holds ``key``'s lock.
+
+        ``owner`` (the acquiring transaction) is used only when tracing
+        is on: a contended acquire records a ``lock_wait`` causal edge
+        naming the current holder (wait-for edge), and ownership is
+        tracked so the edge's blame survives FIFO handoff on release.
+        """
         self.total_acquires += 1
         event = Event(self.env)
         queues = self._queues
@@ -58,9 +73,18 @@ class LockTable:
             if queue is None:
                 queue = queues[key] = deque()
             queue.append(event)
+            if self._traced and owner is not None:
+                self._waiting[event] = (key, owner)
+                self.env.obs.tracer.edge(
+                    "lock_wait", self.env.now,
+                    txn=owner, src_txn=self._owners.get(key),
+                    key=key, waiters=len(queue),
+                )
         else:
             queues[key] = None
             event.succeed()
+            if self._traced and owner is not None:
+                self._owners[key] = owner
         return event
 
     def release(self, key: Any) -> None:
@@ -70,9 +94,18 @@ class LockTable:
             raise SimulationError(f"release of unlocked key {key!r}")
         queue = queues[key]
         if queue:
-            queue.popleft().succeed()
+            event = queue.popleft()
+            event.succeed()
+            if self._traced:
+                entry = self._waiting.pop(event, None)
+                if entry is not None:
+                    self._owners[key] = entry[1]
+                else:
+                    self._owners.pop(key, None)
         else:
             del queues[key]
+            if self._traced:
+                self._owners.pop(key, None)
 
     def _sort_key(self, key: Any) -> str:
         memoized = self._sort_keys.get(key)
@@ -80,20 +113,21 @@ class LockTable:
             memoized = self._sort_keys[key] = repr(key)
         return memoized
 
-    def acquire_all(self, keys: Iterable[Any]) -> Generator:
+    def acquire_all(self, keys: Iterable[Any], owner: Any = None) -> Generator:
         """Acquire every key in sorted order (deadlock-free helper).
 
         Usage: ``yield from lock_table.acquire_all(keys)``. Duplicate
         keys are acquired once. The global order is the keys' ``repr``
         (memoized per key) — this exact order is load-bearing for
         bit-identity, so do not "simplify" it to natural tuple order.
+        ``owner`` flows to :meth:`acquire` for wait-for edges.
         """
         unique = set(keys)
         if len(unique) == 1:
-            yield self.acquire(unique.pop())
+            yield self.acquire(unique.pop(), owner)
             return
         for key in sorted(unique, key=self._sort_key):
-            yield self.acquire(key)
+            yield self.acquire(key, owner)
 
     def release_all(self, keys: Iterable[Any]) -> None:
         """Release every key previously acquired via :meth:`acquire_all`."""

@@ -55,7 +55,8 @@ class LEAP(System):
             outcome = yield from self._submit_faulted(txn, session)
             return outcome
         yield from self.client_hop(txn)  # client -> router
-        yield from self.router_cpu.use(self.config.costs.route_lookup_ms)
+        yield from self.router_cpu.use(self.config.costs.route_lookup_ms,
+                                       txn=txn, track="router")
 
         keys = [key for key in txn.all_keys() if self.scheme.partition(key) is not None]
         # LEAP has no routing strategies (§VI-B2): a transaction runs at
@@ -141,7 +142,8 @@ class LEAP(System):
         faults = self.cluster.faults
         policy = RetryPolicy(faults.rpc, faults.rng)
         yield from self.client_hop(txn)  # client -> router
-        yield from self.router_cpu.use(self.config.costs.route_lookup_ms)
+        yield from self.router_cpu.use(self.config.costs.route_lookup_ms,
+                                       txn=txn, track="router")
 
         keys = [key for key in txn.all_keys() if self.scheme.partition(key) is not None]
         execution_site = txn.client_id % self.cluster.num_sites

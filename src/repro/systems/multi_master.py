@@ -43,7 +43,8 @@ class MultiMaster(System):
 
     def submit(self, txn: Transaction, session: Session):
         yield from self.client_hop(txn)  # client -> router
-        yield from self.router_cpu.use(self.config.costs.route_lookup_ms)
+        yield from self.router_cpu.use(self.config.costs.route_lookup_ms,
+                                       txn=txn, track="router")
 
         if txn.is_read_only:
             faults = self.cluster.faults

@@ -91,7 +91,8 @@ def two_phase_commit(
     # classic discipline that makes distributed deadlock impossible
     # when two multi-unit transactions overlap in opposite directions.
     round_started = env.now
-    yield from sites[coordinator].cpu.use(coordinate)
+    yield from sites[coordinator].cpu.use(coordinate, txn=txn,
+                                          track=coordinator_track)
     begin_vvs = []
     for unit, keys in sorted(items):
         site_index = placement[unit]
@@ -107,20 +108,28 @@ def two_phase_commit(
     if traced:
         tracer.span("2pc_execute", round_started, env.now,
                     track=coordinator_track, txn=txn, branches=len(items))
+        tracer.edge("2pc_round", round_started, txn=txn,
+                    track=coordinator_track, round="execute",
+                    branches=len(items))
 
     # Round 2: prepare — participants force-log and vote. Locks held.
     round_started = env.now
-    yield from sites[coordinator].cpu.use(coordinate)
+    yield from sites[coordinator].cpu.use(coordinate, txn=txn,
+                                          track=coordinator_track)
     yield fan_out(lambda site, keys: site.prepare_branch(txn, keys))
     if traced:
         tracer.span("2pc_prepare", round_started, env.now,
                     track=coordinator_track, txn=txn, branches=len(items))
+        tracer.edge("2pc_round", round_started, txn=txn,
+                    track=coordinator_track, round="prepare",
+                    branches=len(items))
 
     # Round 3: all voted yes -> commit decision fan-out. The window
     # between the prepare votes and this decision reaching a branch is
     # the 2PC uncertainty window the paper's Figure 1b illustrates.
     round_started = env.now
-    yield from sites[coordinator].cpu.use(coordinate)
+    yield from sites[coordinator].cpu.use(coordinate, txn=txn,
+                                          track=coordinator_track)
     commit_vvs = yield fan_out(
         lambda site, keys, begin_vv: site.commit_branch(txn, keys, begin_vv),
         payload=begin_vvs,
@@ -128,6 +137,9 @@ def two_phase_commit(
     if traced:
         tracer.span("2pc_decide", round_started, env.now,
                     track=coordinator_track, txn=txn, branches=len(items))
+        tracer.edge("2pc_round", round_started, txn=txn,
+                    track=coordinator_track, round="decide",
+                    branches=len(items))
 
     merged = VersionVector.zeros(len(sites[0].svv))
     for commit_vv in commit_vvs:
@@ -166,13 +178,25 @@ def _two_phase_commit_faulted(
     """
     env = system.env
     obs = env.obs
+    tracer = obs.tracer
+    traced = tracer.enabled
     faults = system.cluster.faults
     sites = system.sites
     items = sorted(branches.items(), key=lambda item: (-len(item[1]), item[0]))
     placement = system.placement
     coordinator = placement[items[0][0]]
+    coordinator_track = f"site{coordinator}" if traced else ""
     coord_site = sites[coordinator]
     policy = RetryPolicy(faults.rpc, faults.rng)
+
+    def _round(name, started):
+        # Traced runs only: the round span + ordering edge, mirroring
+        # the unfaulted path so chaos attribution sees commit_protocol.
+        tracer.span(f"2pc_{name}", started, env.now,
+                    track=coordinator_track, txn=txn, branches=len(items))
+        tracer.edge("2pc_round", started, txn=txn,
+                    track=coordinator_track, round=name, branches=len(items))
+
     if obs.enabled:
         obs.registry.gauge("2pc_inflight").inc()
         obs.registry.counter("2pc_started").inc()
@@ -197,7 +221,11 @@ def _two_phase_commit_faulted(
 
     try:
         # Round 1: branch execution, global unit order (deadlock-free).
-        yield from site_process(coord_site, coord_site.cpu.use(coordinate))
+        round_started = env.now
+        yield from site_process(
+            coord_site,
+            coord_site.cpu.use(coordinate, txn=txn, track=coordinator_track),
+        )
         by_unit: Dict[int, VersionVector] = {}
         for unit, keys in sorted(items):
             site_index = placement[unit]
@@ -214,9 +242,15 @@ def _two_phase_commit_faulted(
             touched.append((site_index, keys))
             by_unit[unit] = begin_vv
         begin_vvs = [by_unit[unit] for unit, _ in items]
+        if traced:
+            _round("execute", round_started)
 
         # Round 2: prepare votes, bounded retries (prepare is idempotent).
-        yield from site_process(coord_site, coord_site.cpu.use(coordinate))
+        round_started = env.now
+        yield from site_process(
+            coord_site,
+            coord_site.cpu.use(coordinate, txn=txn, track=coordinator_track),
+        )
         for unit, keys in items:
             site_index = placement[unit]
             failures = 0
@@ -231,6 +265,8 @@ def _two_phase_commit_faulted(
                     if failures >= policy.attempts:
                         raise
                     yield env.timeout(policy.backoff_ms(failures - 1))
+        if traced:
+            _round("prepare", round_started)
     except FaultError as exc:
         yield from _abort_branches(system, txn, touched, coordinator)
         yield from system.client_hop(txn)
@@ -241,8 +277,12 @@ def _two_phase_commit_faulted(
     # Commit point: every vote is in and the decision is (modeled as)
     # force-logged. From here the decision is delivered persistently.
     merged = VersionVector.zeros(len(sites[0].svv))
+    round_started = env.now
     try:
-        yield from site_process(coord_site, coord_site.cpu.use(coordinate))
+        yield from site_process(
+            coord_site,
+            coord_site.cpu.use(coordinate, txn=txn, track=coordinator_track),
+        )
     except SiteDown:
         # Coordinator crashed after logging the decision; delivery
         # continues below (participants would learn it from the
@@ -268,6 +308,8 @@ def _two_phase_commit_faulted(
                 yield env.timeout(policy.backoff_ms(min(failures - 1, 8)))
         if commit_vv is not None:
             merged = merged.element_max(commit_vv)
+    if traced:
+        _round("decide", round_started)
 
     yield from system.client_hop(txn)
     if obs.enabled:

@@ -71,6 +71,91 @@ class TestCommands:
         assert "new_order" in output
 
 
+class TestExplainCommand:
+    EXPLAIN = ["explain", "--clients", "4", "--duration", "200", "--sites", "2"]
+
+    def export(self, tmp_path, name, system="dynamast", seed="7"):
+        path = tmp_path / name
+        code = main(self.EXPLAIN + [
+            "--system", system, "--seed", seed, "--export", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_explain_prints_budget_and_waterfalls(self, capsys):
+        code = main(self.EXPLAIN + ["--system", "dynamast", "--seed", "7"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "latency budget: dynamast" in output
+        assert "coverage 1.000000" in output
+        assert "worst transactions (waterfalls)" in output
+        assert "causal edges" in output
+
+    def test_explain_vs_prints_diff(self, capsys):
+        code = main(self.EXPLAIN + [
+            "--system", "dynamast", "--vs", "single-master", "--seed", "7",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "budget diff: dynamast" in output
+        assert "single-master" in output
+
+    def test_export_then_diff_roundtrip(self, capsys, tmp_path):
+        a = self.export(tmp_path, "a.json", system="dynamast")
+        b = self.export(tmp_path, "b.json", system="single-master")
+        capsys.readouterr()
+        code = main(["explain", "--diff", str(a), str(b)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "budget diff: dynamast" in output
+
+    def test_diff_mismatched_pair_fails_cleanly(self, capsys, tmp_path):
+        a = self.export(tmp_path, "a.json", seed="7")
+        b = self.export(tmp_path, "b.json", seed="9")
+        capsys.readouterr()
+        code = main(["explain", "--diff", str(a), str(b)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro explain: error:" in err
+        assert "seed differs" in err
+        assert "Traceback" not in err
+
+    def test_diff_malformed_json_fails_cleanly(self, capsys, tmp_path):
+        a = self.export(tmp_path, "a.json")
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        capsys.readouterr()
+        code = main(["explain", "--diff", str(a), str(broken)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro explain: error:" in err
+        assert "Traceback" not in err
+
+    def test_diff_wrong_schema_fails_cleanly(self, capsys, tmp_path):
+        import json
+
+        a = self.export(tmp_path, "a.json")
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"schema": "repro-explain/0"}))
+        capsys.readouterr()
+        code = main(["explain", "--diff", str(a), str(stale)])
+        assert code == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_diff_missing_file_fails_cleanly(self, capsys, tmp_path):
+        a = self.export(tmp_path, "a.json")
+        capsys.readouterr()
+        code = main(["explain", "--diff", str(a), str(tmp_path / "gone.json")])
+        assert code == 2
+        assert "repro explain: error:" in capsys.readouterr().err
+
+    def test_unknown_txn_fails_cleanly(self, capsys):
+        code = main(self.EXPLAIN + ["--system", "dynamast", "--txn", "999999999"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "was not attributed" in err
+
+
 class TestChaosCommand:
     def test_chaos_command(self, capsys, tmp_path):
         out = tmp_path / "timeline.csv"
@@ -89,3 +174,14 @@ class TestChaosCommand:
     def test_chaos_rejects_unknown_scenario(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--scenario", "bogus"])
+
+    def test_chaos_explain_attributes_the_dip(self, capsys):
+        code = main([
+            "chaos", "--system", "dynamast", "--scenario", "crash-restart",
+            "--duration", "900", "--bucket", "300", "--clients", "4",
+            "--explain",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "availability-dip attribution" in output
+        assert "steady" in output and "degraded" in output

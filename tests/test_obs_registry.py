@@ -1,11 +1,15 @@
 """Tests for counters, gauges, and streaming histograms."""
 
+import math
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import Counter, Gauge, MetricsRegistry, StreamingHistogram
-from repro.bench.metrics import LatencySummary, _percentile
+from repro.bench.metrics import LatencySummary, Metrics, _percentile
+from repro.transactions import Outcome, Transaction
 
 
 class TestCounterGauge:
@@ -125,6 +129,191 @@ class TestStreamingHistogram:
         assert summary.p50 == pytest.approx(exact.p50, rel=0.05)
         assert summary.p99 == pytest.approx(exact.p99, rel=0.05)
         assert LatencySummary.of_histogram(StreamingHistogram("e")).count == 0
+
+
+class TestHistogramQuantileProperty:
+    """The documented error band, as a property over arbitrary samples.
+
+    The class docstring promises any quantile estimate is within one
+    bucket's relative width of the exact sample quantile. That holds
+    for samples at or above ``base`` (everything below collapses into
+    the underflow bucket), so the strategy draws from [base, 1e7].
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-3, max_value=1e7,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=400,
+        ),
+        growth=st.sampled_from([1.05, 1.1, 1.5, 2.0]),
+        q=st.sampled_from([0.50, 0.99]),
+    )
+    def test_p50_p99_within_documented_band(self, samples, growth, q):
+        histogram = StreamingHistogram("h", growth=growth)
+        for value in samples:
+            histogram.record(value)
+        exact = _percentile(sorted(samples), q)
+        approx = histogram.quantile(q)
+        # One bucket's relative width; the midpoint estimate is within
+        # half of that, the other half is slack for boundary rounding.
+        assert abs(approx - exact) <= (growth - 1.0) * exact + 1e-12
+        # Clamping keeps estimates inside the observed range.
+        assert histogram.minimum <= approx <= histogram.maximum
+
+
+def parse_exposition(text):
+    """(name, labels-string, value) triples for non-comment lines."""
+    rows = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        metric, value = line.rsplit(" ", 1)
+        if "{" in metric:
+            name, labels = metric.split("{", 1)
+            labels = "{" + labels
+        else:
+            name, labels = metric, ""
+        rows.append((name, labels, value))
+    return rows
+
+
+def bucket_series(text, metric):
+    """(le, cumulative-count) pairs of one metric's bucket samples."""
+    pairs = []
+    for name, labels, value in parse_exposition(text):
+        if name != f"{metric}_bucket":
+            continue
+        le = labels.split('le="', 1)[1].split('"', 1)[0]
+        pairs.append((math.inf if le == "+Inf" else float(le), int(value)))
+    return pairs
+
+
+class TestPrometheusExposition:
+    def test_empty_registry_renders_nothing(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("commits").inc(3)
+        registry.gauge("inflight").set(2.5)
+        text = registry.to_prometheus()
+        assert "# TYPE commits counter\ncommits 3\n" in text
+        assert "# TYPE inflight gauge\ninflight 2.5\n" in text
+        assert text.endswith("\n")
+
+    def test_metric_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("2pc.started").inc(1)
+        text = registry.to_prometheus()
+        assert "_2pc_started 1" in text
+        assert "2pc.started" not in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        text = registry.to_prometheus({
+            "path": 'C:\\temp\\"x"',
+            "note": "line1\nline2",
+        })
+        assert '\\\\' in text  # backslash escaped
+        assert '\\"x\\"' in text  # quotes escaped
+        assert '\\nline2' in text  # newline escaped, not literal
+        assert "\nline2" not in text.replace("\\n", "")
+        # Labels are sorted for deterministic output.
+        assert text.index('note="') < text.index('path="')
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", base=1.0, growth=2.0)
+        for value in (0.5, 1.5, 1.6, 3.0, 100.0):
+            histogram.record(value)
+        text = registry.to_prometheus()
+        pairs = bucket_series(text, "lat")
+        les = [le for le, _ in pairs]
+        counts = [count for _, count in pairs]
+        assert les == sorted(les)
+        assert les[-1] == math.inf
+        assert counts == sorted(counts)  # non-decreasing: cumulative
+        assert counts[0] == 1  # the 0.5 underflow sample, under le=base
+        assert counts[-1] == 5
+        rows = dict(
+            (name, value) for name, _, value in parse_exposition(text)
+        )
+        assert rows["lat_count"] == "5"
+        assert float(rows["lat_sum"]) == pytest.approx(106.6)
+
+    def test_bucket_upper_bounds_cover_samples(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        samples = [0.002, 0.5, 7.7, 123.0]
+        for value in samples:
+            histogram.record(value)
+        pairs = bucket_series(registry.to_prometheus(), "lat")
+        # Every sample is <= some finite bucket's upper bound whose
+        # cumulative count includes it.
+        for sample in samples:
+            covering = [count for le, count in pairs if le >= sample]
+            assert covering, sample
+            assert covering[0] >= 1
+
+
+class TestMetricsToPrometheus:
+    def make_txn(self, kind="rmw"):
+        return Transaction(kind, 0, write_set=(("t", 1),))
+
+    def filled(self, streaming=False):
+        metrics = Metrics(streaming=streaming)
+        metrics.record(self.make_txn(), Outcome(True, remastered=True), 2.5, 10.0)
+        metrics.record(self.make_txn("read"), Outcome(True), 7.0, 11.0)
+        metrics.record(
+            self.make_txn(), Outcome(False, retries=1, abort_reason="timeout"),
+            1.0, 12.0,
+        )
+        return metrics
+
+    def test_counters_and_labels(self):
+        text = self.filled().to_prometheus({"system": "dynamast"})
+        rows = parse_exposition(text)
+        values = {(name, labels): value for name, labels, value in rows}
+        assert values[("repro_commits_total", '{system="dynamast"}')] == "2"
+        assert values[(
+            "repro_aborts_by_reason_total",
+            '{reason="timeout",system="dynamast"}',
+        )] == "1"
+
+    def test_one_type_line_per_metric(self):
+        text = self.filled().to_prometheus()
+        type_lines = [line for line in text.splitlines()
+                      if line.startswith("# TYPE")]
+        assert len(type_lines) == len(set(type_lines))
+        assert "# TYPE repro_latency_ms histogram" in type_lines
+
+    def test_latency_histogram_cumulative_per_type(self):
+        text = self.filled().to_prometheus()
+        for txn_type in ("rmw", "read"):
+            rows = [
+                (name, labels, value)
+                for name, labels, value in parse_exposition(text)
+                if f'txn_type="{txn_type}"' in labels
+            ]
+            counts = [int(value) for name, _, value in rows
+                      if name == "repro_latency_ms_bucket"]
+            assert counts == sorted(counts)
+            final = [value for name, _, value in rows
+                     if name == "repro_latency_ms_count"]
+            assert counts[-1] == int(final[0]) == 1
+
+    def test_streaming_and_exact_modes_agree(self):
+        exact = self.filled(streaming=False).to_prometheus({"seed": "3"})
+        streaming = self.filled(streaming=True).to_prometheus({"seed": "3"})
+        assert exact == streaming
+
+    def test_empty_metrics(self):
+        text = Metrics().to_prometheus()
+        assert "repro_commits_total 0" in text
+        assert "repro_latency_ms" not in text
 
 
 class TestMetricsRegistry:

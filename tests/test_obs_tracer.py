@@ -129,6 +129,87 @@ class TestSpanTree:
         assert [n.name for n in tracer.span_tree(a.txn_id)] == ["mine"]
 
 
+class TestOrphanSpans:
+    """Crash-severed spans: outside the envelope, flagged, never parents."""
+
+    def test_span_outliving_envelope_is_orphan_root(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.txn_begin(txn, 0.0)
+        tracer.span("execute", 0.0, 4.0, txn=txn)
+        # Severed lock wait released only when a crash interrupted it,
+        # long after the client's retry committed.
+        tracer.span("lock_wait", 1.0, 50.0, txn=txn)
+        tracer.txn_end(txn, Outcome(committed=True), 5.0)
+        roots = tracer.span_tree(txn.txn_id)
+        assert [(node.name, node.orphan) for node in roots] == [
+            ("execute", False), ("lock_wait", True),
+        ]
+
+    def test_orphan_does_not_adopt_retry_spans(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.txn_begin(txn, 10.0)
+        # Abandoned first attempt: started before the recorded envelope.
+        tracer.span("execute", 0.0, 30.0, txn=txn)
+        # The genuine retry work, fully inside the envelope.
+        tracer.span("commit", 12.0, 14.0, txn=txn)
+        tracer.txn_end(txn, Outcome(committed=True), 15.0)
+        roots = tracer.span_tree(txn.txn_id)
+        nested = [node for node in roots if not node.orphan]
+        orphans = [node for node in roots if node.orphan]
+        assert [node.name for node in nested] == ["commit"]
+        assert [node.name for node in orphans] == ["execute"]
+        assert all(not node.children for node in orphans)
+
+    def test_open_envelope_keeps_legacy_containment(self):
+        tracer = Tracer()
+        txn = make_txn()
+        tracer.txn_begin(txn, 0.0)  # never ended (in flight at run end)
+        tracer.span("outer", 0.0, 10.0, txn=txn)
+        tracer.span("inner", 2.0, 4.0, txn=txn)
+        roots = tracer.span_tree(txn.txn_id)
+        assert [node.name for node in roots] == ["outer"]
+        assert not roots[0].orphan
+        assert [child.name for child in roots[0].children] == ["inner"]
+
+    def test_chaos_run_trees_have_no_misparenting(self):
+        """Regression: mid-transaction site crashes used to leave
+        truncated spans that adopted the retry's spans as children."""
+        from repro.faults.chaos import run_chaos
+        from repro.obs import Observability
+
+        report = run_chaos(
+            "dynamast",
+            "crash-restart",
+            num_sites=3,
+            num_clients=6,
+            duration_ms=900.0,
+            bucket_ms=300.0,
+            seed=3,
+            obs=Observability(),
+        )
+        tracer = report.result.obs.tracer
+        assert any(kind == "crash" for _, kind, _ in report.fault_events)
+        eps = 1e-9
+        checked = 0
+        for txn_id, record in tracer.txns.items():
+            if record.end is None:
+                continue
+            for root in tracer.span_tree(txn_id):
+                checked += 1
+                if root.orphan:
+                    assert not root.children
+                    # Orphans really do violate the envelope.
+                    assert (root.span.start < record.begin - eps
+                            or root.span.end > record.end + eps)
+                else:
+                    for path, node in root.walk():
+                        assert node.span.start >= record.begin - eps, path
+                        assert node.span.end <= record.end + eps, path
+        assert checked > 0
+
+
 class TestAggregation:
     def test_phase_totals_recorded_only(self):
         tracer = Tracer()
