@@ -2,11 +2,21 @@
 
 .PHONY: install test lint bench examples quick chaos explain-smoke perf perf-check clean
 
+# Worker processes for parallel-capable targets (perf, test with
+# pytest-xdist installed). 1 = classic serial behavior.
+JOBS ?= 1
+
 install:
 	pip install -e . || python setup.py develop
 
+# Uses pytest-xdist when installed (and JOBS != 1); falls back to the
+# plain serial run otherwise so the tier-1 command works everywhere.
 test:
-	python -m pytest tests/
+	@if [ "$(JOBS)" != "1" ] && python -c "import xdist" 2>/dev/null; then \
+		python -m pytest tests/ -n $(JOBS); \
+	else \
+		python -m pytest tests/; \
+	fi
 
 lint:
 	ruff check src tests
@@ -50,8 +60,11 @@ explain-smoke:
 	  print('explain-smoke OK:', r['txn_count'], 'txns, coverage %.6f' % r['coverage'])"
 
 # Full perf matrix; refreshes BENCH_perf.json (see DESIGN.md §8).
+# JOBS=n fans the cases over worker processes; simulated results are
+# bit-identical to serial, and per-case walls are measured inside each
+# worker so the report stays comparable.
 perf:
-	python -m repro perf
+	python -m repro perf --jobs $(JOBS)
 
 # Quick regression gate against the committed BENCH_perf.json: the
 # three-case subset, nonzero exit if any case is >15% slower after

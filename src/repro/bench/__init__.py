@@ -12,6 +12,15 @@ Every table and figure of the paper's evaluation has a driver in
 """
 
 from repro.bench.harness import RunResult, run_benchmark
+from repro.bench.parallel import (
+    ParallelExecutor,
+    RunSpec,
+    RunSummary,
+    SpecExecutionError,
+    WorkloadSpec,
+    execute_specs,
+    run_fingerprint,
+)
 from repro.bench.repeat import Estimate, RepeatedResult, run_repeated
 from repro.bench.metrics import LatencySummary, Metrics
 from repro.bench.report import format_row, print_run_report, print_table
@@ -20,8 +29,15 @@ __all__ = [
     "Estimate",
     "LatencySummary",
     "Metrics",
+    "ParallelExecutor",
     "RepeatedResult",
     "RunResult",
+    "RunSpec",
+    "RunSummary",
+    "SpecExecutionError",
+    "WorkloadSpec",
+    "execute_specs",
+    "run_fingerprint",
     "run_repeated",
     "format_row",
     "print_run_report",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import ALL_SYSTEMS, RunResult, run_benchmark
+from repro.bench.parallel import RunSpec, WorkloadSpec, execute_specs
 from repro.core.strategy import StrategyWeights
 from repro.sim.config import ClusterConfig
 from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
@@ -32,6 +33,40 @@ DURATION_MS = 1200.0
 WARMUP_MS = 400.0
 
 
+#: ``run_suite``/``run_repeated`` kwargs a :class:`RunSpec` can carry
+#: across a process boundary. Anything else (live ``obs`` handles,
+#: ``events`` callbacks) forces the serial path.
+_SPEC_SAFE_KWARGS = {
+    "weights", "placement", "load_data", "streaming_metrics",
+    "fault_plan", "fault_scenario", "observed",
+}
+
+
+def _suite_spec(system, workload, *, cluster, num_clients, duration_ms,
+                warmup_ms, seed, **kwargs) -> RunSpec:
+    """Build the RunSpec for one suite cell (parallel path only)."""
+    unsafe = set(kwargs) - _SPEC_SAFE_KWARGS
+    if unsafe:
+        raise ValueError(
+            f"jobs > 1 cannot transport {sorted(unsafe)} to a worker "
+            "process; these options hold live objects — run with jobs=1"
+        )
+    placement = kwargs.pop("placement", None)
+    if placement is not None:
+        placement = tuple(sorted(placement.items()))
+    return RunSpec(
+        system=system,
+        workload=workload,
+        num_clients=num_clients,
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+        cluster=cluster,
+        seed=seed,
+        placement=placement,
+        **kwargs,
+    )
+
+
 def run_suite(
     workload_factory: Callable,
     systems: Sequence[str] = ALL_SYSTEMS,
@@ -40,15 +75,55 @@ def run_suite(
     duration_ms: float = DURATION_MS,
     warmup_ms: float = WARMUP_MS,
     seed: int = 0,
+    jobs: int = 1,
     **kwargs,
 ) -> Dict[str, RunResult]:
-    """Run one workload against several systems (fresh workload each)."""
+    """Run one workload against several systems (fresh workload each).
+
+    ``workload_factory`` is either a zero-argument callable returning a
+    fresh workload, or a :class:`~repro.bench.parallel.WorkloadSpec`
+    (required for ``jobs > 1``, where the workload must be rebuilt
+    inside worker processes from pure data). With ``jobs=1`` (the
+    default) runs execute serially in-process on the exact pre-parallel
+    code path and return live :class:`RunResult` objects; with
+    ``jobs > 1`` the systems fan out across worker processes and the
+    returned values are portable :class:`~repro.bench.parallel.
+    RunSummary` objects with bit-identical simulated results (pinned by
+    ``tests/test_parallel_parity.py``).
+    """
+    spec = workload_factory if isinstance(workload_factory, WorkloadSpec) else None
+    if jobs > 1:
+        if spec is None:
+            raise ValueError(
+                "run_suite(jobs > 1) needs a WorkloadSpec (a picklable "
+                "name + params description), not a workload factory "
+                "callable — see CONTRIBUTING.md, 'Spawn safety'"
+            )
+        specs = [
+            _suite_spec(
+                system, spec,
+                cluster=ClusterConfig(**(cluster or YCSB_CLUSTER)),
+                num_clients=num_clients, duration_ms=duration_ms,
+                warmup_ms=warmup_ms, seed=seed, **kwargs,
+            )
+            for system in systems
+        ]
+        return dict(zip(systems, execute_specs(specs, jobs=jobs)))
+    factory = spec.build if spec is not None else workload_factory
+    kwargs = _resolve_serial_kwargs(kwargs, cluster, duration_ms)
+    observed = kwargs.pop("observed", False)
     results = {}
     for system in systems:
         config = ClusterConfig(**(cluster or YCSB_CLUSTER))
+        if observed:
+            # Fresh handle per run, exactly as each worker builds its
+            # own in the parallel path.
+            from repro.obs import Observability
+
+            kwargs["obs"] = Observability()
         results[system] = run_benchmark(
             system,
-            workload_factory(),
+            factory(),
             num_clients=num_clients,
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
@@ -57,6 +132,29 @@ def run_suite(
             **kwargs,
         )
     return results
+
+
+def _resolve_serial_kwargs(kwargs: Dict, cluster: Optional[dict],
+                           duration_ms: float) -> Dict:
+    """Resolve spec-level conveniences for the serial path.
+
+    The parallel path resolves ``fault_scenario`` and ``observed``
+    worker-side (the RunSpec carries them as data); the serial path
+    performs the same resolution here so the two paths stay
+    bit-identical. Plain ``run_benchmark`` kwargs pass through.
+    """
+    resolved = dict(kwargs)
+    scenario = resolved.pop("fault_scenario", None)
+    if scenario is not None:
+        if resolved.get("fault_plan") is not None:
+            raise ValueError("pass either fault_plan or fault_scenario, not both")
+        from repro.faults.plan import build_scenario
+
+        config = ClusterConfig(**(cluster or YCSB_CLUSTER))
+        resolved["fault_plan"] = build_scenario(
+            scenario, num_sites=config.num_sites, duration_ms=duration_ms,
+        )
+    return resolved
 
 
 # ---------------------------------------------------------------------------

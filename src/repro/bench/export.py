@@ -14,6 +14,7 @@ import json
 from typing import Dict, List, Mapping
 
 from repro.bench.harness import RunResult
+from repro.bench.parallel import RunSummary
 
 #: Columns exported for each run.
 FIELDS = (
@@ -68,20 +69,25 @@ def attach_attribution(row: Dict[str, object], result: RunResult) -> None:
 
     No-op for unobserved runs, so plain bench exports keep their exact
     schema; observed exports gain one share column per attribution
-    category (summing to ~1.0).
+    category (summing to ~1.0). Portable :class:`RunSummary` objects
+    carry their shares pre-folded (the live tracer stayed in the worker
+    process), so those are exported directly.
     """
-    if result.obs is None or not result.obs.enabled:
-        return
-    from repro.obs.attribution import AttributionReport
+    shares = getattr(result, "attribution_shares", None)
+    if shares is None:
+        if result.obs is None or not result.obs.enabled:
+            return
+        from repro.obs.attribution import AttributionReport
 
-    report = AttributionReport.from_result(result, keep_segments=False)
-    for category, share in report.shares().items():
+        report = AttributionReport.from_result(result, keep_segments=False)
+        shares = report.shares()
+    for category, share in shares.items():
         row[f"attrib_{category}_share"] = round(share, 5)
 
 
 def rows_from(results) -> List[Dict[str, object]]:
-    """Flatten a RunResult, a mapping of them, or nested mappings."""
-    if isinstance(results, RunResult):
+    """Flatten a RunResult/RunSummary, a mapping of them, or nested mappings."""
+    if isinstance(results, (RunResult, RunSummary)):
         row = run_to_row(results)
         attach_attribution(row, results)
         return [row]

@@ -81,6 +81,20 @@ class RunResult:
     def latency(self, txn_type: Optional[str] = None) -> LatencySummary:
         return self.metrics.latency(txn_type)
 
+    def portable(self):
+        """The picklable :class:`~repro.bench.parallel.RunSummary`.
+
+        Drops the live ``system`` / ``obs`` / ``injector`` handles —
+        each of which transitively pins an entire simulated cluster —
+        while keeping every folded measurement, so long suite loops can
+        retain results without retaining clusters, and results can
+        cross a process boundary. Observed runs fold their attribution
+        budget into ``attribution_shares`` first.
+        """
+        from repro.bench.parallel import summarize
+
+        return summarize(self)
+
 
 def run_benchmark(
     system_name: str,

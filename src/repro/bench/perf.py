@@ -36,14 +36,20 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from functools import partial
+
 from repro.bench.harness import run_benchmark
+from repro.bench.parallel import ParallelExecutor, run_fingerprint
 from repro.sim.config import ClusterConfig
 from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 
 #: Bump when the report layout or the pinned matrix changes shape.
-SCHEMA = "repro-perf/1"
+#: /2: per-case ``wall_total_s`` (sum over repeats, measured inside the
+#: executing process) and the ``machine.parallel`` block recording the
+#: serial-vs-parallel speedup of the matrix.
+SCHEMA = "repro-perf/2"
 
 #: Where ``repro perf`` writes (and ``--check`` reads) by default.
 DEFAULT_REPORT = "BENCH_perf.json"
@@ -126,8 +132,16 @@ def run_case(case: PerfCase, repeats: int = 3) -> Dict:
     Minimum-of-repeats is the standard for wall benchmarks: noise only
     ever adds time. Simulated quantities (events, commits) are
     identical across repeats by the determinism contract.
+
+    Every wall measurement happens *inside the executing process* (it
+    is ``RunResult.wall_clock_s`` from the harness), so under ``--jobs``
+    the per-case numbers stay directly comparable to serial ones and
+    the ``--check`` tolerance band keeps meaning what it always meant.
+    ``wall_total_s`` (all repeats) is what a serial sweep would have
+    spent on this cell — the numerator of the recorded speedup.
     """
     best = None
+    total_wall = 0.0
     for _ in range(repeats):
         result = run_benchmark(
             case.system,
@@ -138,6 +152,7 @@ def run_case(case: PerfCase, repeats: int = 3) -> Dict:
             cluster_config=ClusterConfig(num_sites=case.sites),
             seed=case.seed,
         )
+        total_wall += result.wall_clock_s
         if best is None or result.wall_clock_s < best.wall_clock_s:
             best = result
     wall = best.wall_clock_s
@@ -149,9 +164,15 @@ def run_case(case: PerfCase, repeats: int = 3) -> Dict:
         "duration_ms": case.duration_ms,
         "seed": case.seed,
         "wall_s": round(wall, 4),
+        "wall_total_s": round(total_wall, 4),
+        #: Canonical digest of the simulated outcome; identical across
+        #: repeats, hosts, and serial/parallel execution.
+        "fingerprint": run_fingerprint(best),
         "sim_events": best.events_processed,
         "events_per_s": round(best.events_processed / wall) if wall else 0,
         "commits": best.metrics.commits,
+        #: In a worker process this is that worker's high-water mark,
+        #: aggregated max-across-workers (never summed) by run_matrix.
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
     }
 
@@ -166,15 +187,38 @@ def run_matrix(
     cases: Sequence[PerfCase],
     repeats: int = 3,
     progress=None,
+    jobs: int = 1,
 ) -> Dict:
-    """Run ``cases`` and assemble the report payload."""
+    """Run ``cases`` and assemble the report payload.
+
+    ``jobs > 1`` fans the cases over worker processes (spawn context,
+    deterministic case order). Simulated quantities are bit-identical
+    to a serial sweep by the determinism contract; per-case walls are
+    still measured inside each worker, and peak RSS is aggregated as
+    the max across workers, never a sum. The ``machine.parallel`` block
+    records the measured end-to-end speedup: serial-equivalent seconds
+    (the sum of in-worker walls, i.e. what ``--jobs 1`` would have
+    cost) over elapsed seconds.
+    """
     calibration = calibrate()
     results: Dict[str, Dict] = {}
-    for case in cases:
-        measured = run_case(case, repeats=repeats)
-        results[case.name] = measured
-        if progress is not None:
-            progress(case.name, measured)
+    sweep_start = time.perf_counter()
+    if jobs > 1:
+        measured_rows = ParallelExecutor(jobs).map(
+            partial(run_case, repeats=repeats), list(cases),
+        )
+        for case, measured in zip(cases, measured_rows):
+            results[case.name] = measured
+            if progress is not None:
+                progress(case.name, measured)
+    else:
+        for case in cases:
+            measured = run_case(case, repeats=repeats)
+            results[case.name] = measured
+            if progress is not None:
+                progress(case.name, measured)
+    elapsed = time.perf_counter() - sweep_start
+    serial_equivalent = sum(row["wall_total_s"] for row in results.values())
     return {
         "schema": SCHEMA,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -184,8 +228,17 @@ def run_matrix(
             "implementation": platform.python_implementation(),
             "cpu_count": os.cpu_count(),
             "calibration_kops": calibration,
+            "parallel": {
+                "jobs": jobs,
+                "elapsed_s": round(elapsed, 4),
+                "serial_equivalent_s": round(serial_equivalent, 4),
+                "speedup": round(serial_equivalent / elapsed, 3) if elapsed else 0.0,
+                "peak_rss_kb_max_worker": max(
+                    (row["peak_rss_kb"] for row in results.values()), default=0
+                ),
+            },
         },
-        "settings": {"repeats": repeats},
+        "settings": {"repeats": repeats, "jobs": jobs},
         "cases": results,
     }
 
@@ -305,6 +358,7 @@ def main(
     baseline_label: str = "previous baseline",
     tolerance: float = DEFAULT_TOLERANCE,
     repeats: int = 3,
+    jobs: int = 1,
     emit=print,
 ) -> int:
     """Drive a perf run; returns a process exit code.
@@ -313,6 +367,7 @@ def main(
     ``baseline_from`` as the before/after comparison).
     ``check=True``: run the matrix and compare against the committed
     report at ``baseline_path``; never writes; exit 1 on regression.
+    ``jobs``: worker processes for the matrix (1 = classic serial run).
     """
     # Load reports up front so a missing/stale file fails before the
     # matrix burns minutes of wall-clock.
@@ -320,17 +375,22 @@ def main(
     baseline = load_report(baseline_from) if baseline_from else None
 
     cases = select_cases(quick=quick)
-    emit(f"perf: running {len(cases)} case(s), repeats={repeats}"
+    emit(f"perf: running {len(cases)} case(s), repeats={repeats}, jobs={jobs}"
          + (" [quick]" if quick else ""))
     payload = run_matrix(
         cases,
         repeats=repeats,
+        jobs=jobs,
         progress=lambda name, row: emit(
             f"  {name:<24} {row['wall_s']:>8.3f}s  "
             f"{row['events_per_s']:>10,} ev/s  {row['commits']:>8,} commits"
         ),
     )
     emit(f"calibration: {payload['machine']['calibration_kops']} kops")
+    parallel = payload["machine"]["parallel"]
+    emit(f"matrix wall: {parallel['elapsed_s']:.1f}s elapsed vs "
+         f"{parallel['serial_equivalent_s']:.1f}s serial-equivalent "
+         f"(speedup x{parallel['speedup']:.2f} at jobs={jobs})")
 
     if check:
         rows = compare_reports(payload, committed, tolerance=tolerance)

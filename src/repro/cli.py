@@ -40,19 +40,27 @@ from repro.workloads.smallbank import SmallBankConfig
 WORKLOADS = ("ycsb", "tpcc", "smallbank")
 
 
+def make_workload_spec(name: str, args):
+    """Describe a workload from CLI arguments as picklable pure data.
+
+    The spec form is what ``--jobs`` fan-out ships to worker processes;
+    :func:`make_workload` builds the same workload in-process from it,
+    so serial and parallel runs construct identical generators.
+    """
+    from repro.bench.parallel import WorkloadSpec
+
+    if name == "ycsb":
+        return WorkloadSpec.of("ycsb", rmw_fraction=args.rmw, zipf_theta=args.skew)
+    if name == "tpcc":
+        return WorkloadSpec.of("tpcc", neworder_remote_fraction=args.remote)
+    if name == "smallbank":
+        return WorkloadSpec.of("smallbank")
+    raise ValueError(f"unknown workload {name!r}; expected one of {WORKLOADS}")
+
+
 def make_workload(name: str, args):
     """Instantiate a workload from CLI arguments."""
-    if name == "ycsb":
-        return YCSBWorkload(
-            YCSBConfig(rmw_fraction=args.rmw, zipf_theta=args.skew)
-        )
-    if name == "tpcc":
-        return TPCCWorkload(
-            TPCCConfig(neworder_remote_fraction=args.remote)
-        )
-    if name == "smallbank":
-        return SmallBankWorkload(SmallBankConfig())
-    raise ValueError(f"unknown workload {name!r}; expected one of {WORKLOADS}")
+    return make_workload_spec(name, args).build()
 
 
 def add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -251,9 +259,35 @@ def cmd_compare(args) -> int:
     systems = args.systems.split(",") if args.systems else list(ALL_SYSTEMS)
     rows = []
     results = {}
-    for system in systems:
-        result = run_one(system, args)
-        results[system] = result
+    if args.jobs > 1:
+        from repro.bench.parallel import RunSpec, SpecExecutionError, execute_specs
+
+        specs = [
+            RunSpec(
+                system=system,
+                workload=make_workload_spec(args.workload, args),
+                num_clients=args.clients,
+                duration_ms=args.duration,
+                warmup_ms=args.duration / 4,
+                cluster=ClusterConfig(
+                    num_sites=args.sites, cores_per_site=args.cores
+                ),
+                seed=args.seed,
+            )
+            for system in systems
+        ]
+        try:
+            results = dict(zip(systems, execute_specs(specs, jobs=args.jobs)))
+        except SpecExecutionError as exc:
+            print(f"repro compare: error: {exc}", file=sys.stderr)
+            return 2
+        print(f"ran {len(results)} systems across {args.jobs} workers",
+              file=sys.stderr)
+    else:
+        for system in systems:
+            results[system] = run_one(system, args)
+            print(f"ran {system}", file=sys.stderr)
+    for system, result in results.items():
         combined = result.latency()
         rows.append([
             system,
@@ -262,7 +296,6 @@ def cmd_compare(args) -> int:
             combined.p99,
             f"{result.metrics.remaster_fraction():.1%}",
         ])
-        print(f"ran {system}", file=sys.stderr)
     print_table(
         f"{args.workload}, {args.clients} clients, {args.sites} sites",
         ["system", "txn/s", "mean ms", "p99 ms", "remaster/ship"],
@@ -283,6 +316,14 @@ def cmd_compare(args) -> int:
 
 def cmd_chaos(args) -> int:
     from repro.faults.chaos import run_chaos
+
+    systems = args.systems.split(",") if args.systems else [args.system]
+    scenarios = args.scenarios.split(",") if args.scenarios else [args.scenario]
+    if len(systems) > 1 or len(scenarios) > 1 or args.jobs > 1:
+        return _chaos_matrix(args, systems, scenarios)
+    # A single-cell "matrix" (--systems X --scenarios Y) runs on the
+    # classic serial path.
+    args.system, args.scenario = systems[0], scenarios[0]
 
     obs = None
     if args.explain:
@@ -339,6 +380,58 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _chaos_matrix(args, systems, scenarios) -> int:
+    """Fan a (system x scenario) matrix over worker processes."""
+    from repro.bench.parallel import SpecExecutionError
+    from repro.faults.chaos import run_chaos_matrix
+
+    if args.explain:
+        print("repro chaos: error: --explain needs a live tracer and is "
+              "only available for single serial runs (drop --jobs/"
+              "--systems/--scenarios)", file=sys.stderr)
+        return 2
+    try:
+        reports = run_chaos_matrix(
+            systems,
+            scenarios,
+            jobs=args.jobs,
+            num_sites=args.sites,
+            num_clients=args.clients,
+            duration_ms=args.duration,
+            bucket_ms=args.bucket,
+            seed=args.seed,
+        )
+    except (SpecExecutionError, ValueError) as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    rows = []
+    for (system, scenario), report in reports.items():
+        aborts = sum(report.aborts_by_reason.values())
+        rows.append([
+            system, scenario, report.commits, aborts,
+            f"{report.steady_rate():,.0f}", f"{report.min_rate():,.0f}",
+            f"{report.final_rate():,.0f}",
+            "yes" if report.recovered() else "NO",
+        ])
+    print_table(
+        f"chaos matrix: {len(systems)} system(s) x {len(scenarios)} "
+        f"scenario(s) ({args.sites} sites, {args.duration:g} ms, "
+        f"jobs={args.jobs})",
+        ["system", "scenario", "commits", "aborts", "steady/s", "min/s",
+         "final/s", "recovered"],
+        rows,
+    )
+    if args.out:
+        base, dot, extension = args.out.rpartition(".")
+        if not dot:
+            base, extension = args.out, "csv"
+        for (system, scenario), report in reports.items():
+            path = f"{base}.{system}.{scenario}.{extension}"
+            report.write_csv(path)
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_perf(args) -> int:
     from repro.bench import perf
 
@@ -352,6 +445,7 @@ def cmd_perf(args) -> int:
             baseline_label=args.baseline_label,
             tolerance=args.tolerance,
             repeats=args.repeats,
+            jobs=args.jobs,
         )
     except (OSError, ValueError) as exc:
         print(f"repro perf: error: {exc}", file=sys.stderr)
@@ -401,6 +495,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="comma-separated subset (default: all five)")
     compare.add_argument("--csv", default="", help="also write results as CSV")
     compare.add_argument("--json", default="", help="also write results as JSON")
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="worker processes to fan the systems over "
+                              "(results are bit-identical to --jobs 1)")
     add_common_arguments(compare)
     compare.set_defaults(fn=cmd_compare)
 
@@ -442,6 +539,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     chaos.add_argument("--system", choices=ALL_SYSTEMS, default="dynamast")
     chaos.add_argument("--scenario", choices=SCENARIOS, default="crash-restart")
+    chaos.add_argument("--systems", default="",
+                       help="comma-separated systems for a fan-out matrix")
+    chaos.add_argument("--scenarios", default="",
+                       help="comma-separated scenarios for a fan-out matrix")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the matrix (bit-identical "
+                            "to serial)")
     chaos.add_argument("--sites", type=int, default=3)
     chaos.add_argument("--clients", type=int, default=16)
     chaos.add_argument("--duration", type=float, default=10_000.0,
@@ -477,6 +581,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="--check regression band (default: %(default)s)")
     perf.add_argument("--repeats", type=int, default=3,
                       help="runs per case; best wall-clock wins")
+    perf.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the matrix; per-case walls "
+                           "are still measured inside each worker, so "
+                           "--check bands stay meaningful")
     perf.set_defaults(fn=cmd_perf)
 
     experiments = commands.add_parser("experiments", help="list figure drivers")

@@ -15,14 +15,31 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import RunResult, run_benchmark
+from repro.bench.parallel import RunSpec, WorkloadSpec, execute_specs
 from repro.faults.plan import FaultPlan, build_scenario
 from repro.sim.config import ClusterConfig
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 
-__all__ = ["AvailabilityBucket", "ChaosReport", "run_chaos"]
+__all__ = [
+    "AvailabilityBucket",
+    "ChaosReport",
+    "chaos_workload_spec",
+    "run_chaos",
+    "run_chaos_matrix",
+]
+
+#: The default chaos workload as pure data — contended YCSB (50% RMW,
+#: moderate skew), identical to the workload ``run_chaos`` builds
+#: inline, expressed as a spec so scenario matrices can fan out across
+#: worker processes.
+DEFAULT_CHAOS_WORKLOAD = dict(num_partitions=40, rmw_fraction=0.5, zipf_theta=0.5)
+
+
+def chaos_workload_spec() -> WorkloadSpec:
+    return WorkloadSpec.of("ycsb", **DEFAULT_CHAOS_WORKLOAD)
 
 
 @dataclass(frozen=True)
@@ -195,7 +212,30 @@ def run_chaos(
         fault_plan=plan,
         obs=obs,
     )
+    return report_from_result(
+        result, scenario,
+        num_sites=num_sites, duration_ms=duration_ms,
+        warmup_ms=warmup_ms, bucket_ms=bucket_ms,
+    )
 
+
+def report_from_result(
+    result,
+    scenario: str,
+    *,
+    num_sites: int,
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+    bucket_ms: float = 250.0,
+) -> ChaosReport:
+    """Distill a run (live ``RunResult`` or portable ``RunSummary``)
+    into a :class:`ChaosReport`.
+
+    Everything the report needs — commit/abort completion times, fault
+    transitions, abort reasons — survives the portable form, so chaos
+    matrices can be bucketed in the parent after worker processes ran
+    the simulations.
+    """
     commit_rates = _rate_series(
         result.metrics.commit_times, bucket_ms, warmup_ms, duration_ms
     )
@@ -215,7 +255,7 @@ def run_chaos(
         buckets.append(AvailabilityBucket(start, commit_rate, abort_rate, up))
 
     return ChaosReport(
-        system_name=system_name,
+        system_name=result.system_name,
         scenario=scenario,
         duration_ms=duration_ms,
         num_sites=num_sites,
@@ -225,3 +265,52 @@ def run_chaos(
         fault_events=events,
         result=result,
     )
+
+
+def run_chaos_matrix(
+    systems: Sequence[str],
+    scenarios: Sequence[str],
+    *,
+    jobs: int = 1,
+    num_sites: int = 3,
+    num_clients: int = 16,
+    duration_ms: float = 10_000.0,
+    warmup_ms: float = 0.0,
+    bucket_ms: float = 250.0,
+    seed: int = 0,
+    workload: Optional[WorkloadSpec] = None,
+) -> "Dict[Tuple[str, str], ChaosReport]":
+    """Fan a (system x scenario) chaos matrix over worker processes.
+
+    Every cell is one deterministic faulted run; the matrix order
+    (systems outer, scenarios inner) is preserved in the returned
+    mapping regardless of completion order, and each cell's simulated
+    outcome is bit-identical to ``run_chaos`` of the same cell
+    (``tests/test_parallel_parity.py`` pins this). ``jobs=1`` runs the
+    same specs serially in-process.
+    """
+    workload = workload or chaos_workload_spec()
+    combos = [(system, scenario) for system in systems for scenario in scenarios]
+    specs = [
+        RunSpec(
+            system=system,
+            workload=workload,
+            num_clients=num_clients,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            cluster=ClusterConfig(num_sites=num_sites),
+            seed=seed,
+            fault_scenario=scenario,
+            label=f"chaos:{system}/{scenario}",
+        )
+        for system, scenario in combos
+    ]
+    summaries = execute_specs(specs, jobs=jobs)
+    return {
+        combo: report_from_result(
+            summary, combo[1],
+            num_sites=num_sites, duration_ms=duration_ms,
+            warmup_ms=warmup_ms, bucket_ms=bucket_ms,
+        )
+        for combo, summary in zip(combos, summaries)
+    }

@@ -18,7 +18,39 @@ from repro.workloads.trace import WorkloadTrace, record_trace
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 
+#: Registry of buildable workloads: name -> (config class, workload
+#: class). This is what lets a :class:`~repro.bench.parallel.RunSpec`
+#: describe a workload as pure data (name + config kwargs) and have a
+#: worker process rebuild it — the spawn-safety contract
+#: (CONTRIBUTING.md) requires every spec-referenced constructor to be
+#: module-level like these.
+WORKLOAD_REGISTRY = {
+    "ycsb": (YCSBConfig, YCSBWorkload),
+    "tpcc": (TPCCConfig, TPCCWorkload),
+    "smallbank": (SmallBankConfig, SmallBankWorkload),
+}
+
+
+def build_workload(name: str, **params) -> Workload:
+    """Instantiate a fresh registered workload from plain parameters.
+
+    Raises ``ValueError`` naming the unknown workload (and the known
+    ones) so multi-process drivers surface a clean, attributable error
+    instead of an opaque worker failure.
+    """
+    try:
+        config_cls, workload_cls = WORKLOAD_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOAD_REGISTRY))
+        raise ValueError(
+            f"unknown workload {name!r}; registered workloads: {known}"
+        ) from None
+    return workload_cls(config_cls(**params))
+
+
 __all__ = [
+    "WORKLOAD_REGISTRY",
+    "build_workload",
     "ClientTurn",
     "SmallBankConfig",
     "SmallBankWorkload",

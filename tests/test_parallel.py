@@ -1,0 +1,256 @@
+"""The multi-process experiment engine: executor, specs, transport.
+
+Covers :mod:`repro.bench.parallel` at the unit level — ordering,
+failure surfacing, and the pickling contract every spawn-shipped type
+must honor. The serial-vs-parallel bit-identity of the experiment
+drivers is pinned separately in ``tests/test_parallel_parity.py``.
+
+Spawn safety note: the worker callables below are module-level on
+purpose — a lambda or closure would fail to pickle, which is exactly
+the rule CONTRIBUTING.md ("Spawn safety") documents.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.harness import run_benchmark
+from repro.bench.parallel import (
+    ParallelExecutor,
+    RunSpec,
+    RunSummary,
+    SpecExecutionError,
+    WorkloadSpec,
+    execute_specs,
+    run_fingerprint,
+    summarize,
+)
+from repro.core.strategy import StrategyWeights
+from repro.faults.plan import SCENARIOS, FaultPlan, build_scenario
+from repro.sim.config import ClusterConfig
+from repro.workloads import YCSBConfig, YCSBWorkload, build_workload
+
+
+def _square(value):
+    return value * value
+
+
+def _explode_on_three(value):
+    if value == 3:
+        raise RuntimeError("boom at three")
+    return value * 10
+
+
+def tiny_spec(system="dynamast", **overrides):
+    base = dict(
+        system=system,
+        workload=WorkloadSpec.of("ycsb", num_partitions=16),
+        num_clients=4,
+        duration_ms=150.0,
+        warmup_ms=30.0,
+        cluster=ClusterConfig(num_sites=2, cores_per_site=2),
+        seed=9,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def run_spec_serially(spec):
+    """The reference result: run_benchmark called directly."""
+    return run_benchmark(
+        spec.system,
+        spec.workload.build(),
+        num_clients=spec.num_clients,
+        duration_ms=spec.duration_ms,
+        warmup_ms=spec.warmup_ms,
+        cluster_config=spec.cluster,
+        seed=spec.seed,
+    )
+
+
+class TestWorkloadSpec:
+    def test_builds_registered_workload(self):
+        workload = WorkloadSpec.of("ycsb", num_partitions=16).build()
+        assert isinstance(workload, YCSBWorkload)
+        assert workload.config.num_partitions == 16
+
+    def test_params_are_canonically_ordered(self):
+        a = WorkloadSpec.of("ycsb", zipf_theta=0.5, num_partitions=16)
+        b = WorkloadSpec.of("ycsb", num_partitions=16, zipf_theta=0.5)
+        assert a == b
+
+    def test_unknown_name_fails_lazily_with_known_names(self):
+        spec = WorkloadSpec.of("ycsb2")  # constructing is fine
+        with pytest.raises(ValueError, match="ycsb2.*smallbank|smallbank.*ycsb2"):
+            spec.build()
+
+    def test_registry_rejects_unknown_param(self):
+        with pytest.raises(TypeError):
+            build_workload("ycsb", bogus_knob=1)
+
+
+class TestParallelExecutorSerial:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ParallelExecutor(0)
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            ParallelExecutor(1).map(_square, [1], on_error="ignore")
+
+    def test_serial_maps_in_order(self):
+        assert ParallelExecutor(1).map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_serial_failure_collect_keeps_other_slots(self):
+        outcomes = ParallelExecutor(1).map(
+            _explode_on_three, [1, 3, 5], on_error="collect"
+        )
+        assert outcomes[0] == 10 and outcomes[2] == 50
+        assert isinstance(outcomes[1], SpecExecutionError)
+        assert "boom at three" in str(outcomes[1])
+
+    def test_serial_failure_raise_names_the_item(self):
+        with pytest.raises(SpecExecutionError, match="boom at three"):
+            ParallelExecutor(1).map(_explode_on_three, [3])
+
+
+class TestParallelExecutorPool:
+    def test_pool_preserves_submission_order(self):
+        assert ParallelExecutor(2).map(_square, [3, 1, 2, 4]) == [9, 1, 4, 16]
+
+    def test_pool_failure_is_attributed_not_broken_pool(self):
+        outcomes = ParallelExecutor(2).map(
+            _explode_on_three, [1, 3, 5], on_error="collect"
+        )
+        assert outcomes[0] == 10 and outcomes[2] == 50
+        error = outcomes[1]
+        assert isinstance(error, SpecExecutionError)
+        assert "BrokenProcessPool" not in str(error)
+        assert "boom at three" in str(error)
+        # The worker's traceback rides along for debugging.
+        assert "RuntimeError" in error.worker_traceback
+
+
+class TestSpecFailurePaths:
+    """A bad spec yields a clean, attributed error — and only for
+    its own slot; neighbors in the same pool still succeed."""
+
+    def test_bad_specs_do_not_poison_good_ones(self):
+        good = tiny_spec()
+        unknown_workload = tiny_spec(
+            workload=WorkloadSpec.of("no-such-workload"), label="bad-workload"
+        )
+        unknown_scenario = tiny_spec(
+            fault_scenario="meteor-strike", label="bad-scenario"
+        )
+        outcomes = execute_specs(
+            [good, unknown_workload, unknown_scenario],
+            jobs=2,
+            on_error="collect",
+        )
+        assert isinstance(outcomes[0], RunSummary)
+        assert outcomes[0].metrics.commits > 0
+
+        for outcome, label in ((outcomes[1], "bad-workload"),
+                               (outcomes[2], "bad-scenario")):
+            assert isinstance(outcome, SpecExecutionError)
+            assert label in str(outcome)  # names the offending spec
+            assert "BrokenProcessPool" not in str(outcome)
+
+    def test_raise_mode_still_finishes_the_batch_first(self):
+        good = tiny_spec()
+        bad = tiny_spec(workload=WorkloadSpec.of("nope"), label="doomed")
+        with pytest.raises(SpecExecutionError, match="doomed"):
+            execute_specs([bad, good], jobs=1)
+
+    def test_unknown_workload_error_names_known_workloads(self):
+        bad = tiny_spec(workload=WorkloadSpec.of("nope"))
+        outcomes = execute_specs([bad], jobs=1, on_error="collect")
+        assert "ycsb" in str(outcomes[0])
+
+
+class TestPortableResults:
+    def test_portable_summary_pickles_and_round_trips(self):
+        result = run_spec_serially(tiny_spec())
+        summary = result.portable()
+        assert isinstance(summary, RunSummary)
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.metrics.commits == result.metrics.commits
+        assert clone.fingerprint == run_fingerprint(result)
+        assert clone.throughput == result.throughput
+        assert clone.latency().mean == result.latency().mean
+
+    def test_portable_drops_live_handles(self):
+        result = run_spec_serially(tiny_spec())
+        assert result.system is not None  # the live run keeps its cluster
+        summary = result.portable()
+        assert summary.system is None
+        assert summary.obs is None
+        assert summary.injector is None
+        assert summary.portable() is summary
+
+    def test_fingerprint_ignores_host_side_measurements(self):
+        result = run_spec_serially(tiny_spec())
+        before = run_fingerprint(result)
+        result.wall_clock_s *= 100.0
+        result.events_processed += 12345
+        assert run_fingerprint(result) == before
+
+    def test_summary_carries_worker_measurements(self):
+        summary = summarize(run_spec_serially(tiny_spec()))
+        assert summary.wall_clock_s > 0
+        assert summary.events_processed > 0
+        assert summary.peak_rss_kb > 0
+
+
+class TestPickleRoundTrips:
+    """Every type a RunSpec or RunSummary transports must pickle."""
+
+    def test_cluster_config(self):
+        config = ClusterConfig(num_sites=5, cores_per_site=3)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+    def test_strategy_weights(self):
+        weights = StrategyWeights.for_ycsb()
+        clone = pickle.loads(pickle.dumps(weights))
+        assert clone == weights
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_fault_plan_every_named_scenario(self, scenario):
+        plan = build_scenario(scenario, num_sites=3, duration_ms=2000.0)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert isinstance(clone, FaultPlan)
+        assert clone.crashes == plan.crashes
+        assert clone.links == plan.links
+        clone.validate(num_sites=3)
+
+    @pytest.mark.parametrize("streaming", [False, True])
+    def test_folded_metrics(self, streaming):
+        result = run_spec_serially(tiny_spec())
+        if streaming:
+            result = run_benchmark(
+                "dynamast",
+                YCSBWorkload(YCSBConfig(num_partitions=16)),
+                num_clients=4,
+                duration_ms=150.0,
+                warmup_ms=30.0,
+                cluster_config=ClusterConfig(num_sites=2, cores_per_site=2),
+                seed=9,
+                streaming_metrics=True,
+            )
+        metrics = result.metrics
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert clone.commits == metrics.commits
+        assert clone.latency().mean == pytest.approx(metrics.latency().mean)
+        assert clone.aborts_by_reason == metrics.aborts_by_reason
+
+    def test_run_spec(self):
+        spec = tiny_spec(
+            weights=StrategyWeights.for_ycsb(),
+            fault_plan=build_scenario("crash", num_sites=2, duration_ms=150.0),
+            placement=((0, 0), (1, 1)),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.placement_dict() == {0: 0, 1: 1}
