@@ -1,6 +1,6 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test lint bench examples quick chaos explain-smoke perf perf-check clean
+.PHONY: install test lint bench examples quick chaos explain-smoke masters-smoke perf perf-check clean
 
 # Worker processes for parallel-capable targets (perf, test with
 # pytest-xdist installed). 1 = classic serial behavior.
@@ -58,6 +58,21 @@ explain-smoke:
 	  total = sum(r['aggregate']['categories'].values()); \
 	  assert abs(total - r['total_latency_ms']) < 1e-6, (total, r['total_latency_ms']); \
 	  print('explain-smoke OK:', r['txn_count'], 'txns, coverage %.6f' % r['coverage'])"
+
+# Ledger round-trip gate: a short skewed run must record decisions,
+# export them (repro-masters/1 JSONL), and the export must reconstruct
+# the run — loadable header, offline-recomputable decisions, and a
+# final placement consistent with the recorded ownership changes
+# (DESIGN.md §6.6). Leaves masters_ledger.jsonl for CI to upload.
+masters-smoke:
+	python -m repro masters --system dynamast --skew 0.9 --clients 8 --duration 400 --seed 7 --export-jsonl masters_ledger.jsonl --export-csv masters_rate.csv
+	python -c "from repro.obs.mastery import load_jsonl, recompute_decision; \
+	  data = load_jsonl('masters_ledger.jsonl'); \
+	  header, decisions = data['header'], data['decisions']; \
+	  assert decisions, 'no decisions recorded'; \
+	  assert all(recompute_decision(d)[1] for d in decisions), 'offline recompute mismatch'; \
+	  assert header['partitions_moved'] == len(data['changes']), 'totals disagree'; \
+	  print('masters-smoke OK:', len(decisions), 'decisions,', len(data['changes']), 'ownership changes round-tripped')"
 
 # Full perf matrix; refreshes BENCH_perf.json (see DESIGN.md §8).
 # JOBS=n fans the cases over worker processes; simulated results are

@@ -38,7 +38,7 @@ WARMUP_MS = 400.0
 #: ``events`` callbacks) forces the serial path.
 _SPEC_SAFE_KWARGS = {
     "weights", "placement", "load_data", "streaming_metrics",
-    "fault_plan", "fault_scenario", "observed",
+    "fault_plan", "fault_scenario", "observed", "mastery",
 }
 
 
@@ -112,6 +112,7 @@ def run_suite(
     factory = spec.build if spec is not None else workload_factory
     kwargs = _resolve_serial_kwargs(kwargs, cluster, duration_ms)
     observed = kwargs.pop("observed", False)
+    mastery = kwargs.pop("mastery", False)
     results = {}
     for system in systems:
         config = ClusterConfig(**(cluster or YCSB_CLUSTER))
@@ -121,6 +122,10 @@ def run_suite(
             from repro.obs import Observability
 
             kwargs["obs"] = Observability()
+        if mastery:
+            from repro.obs.mastery import DecisionLedger
+
+            kwargs["ledger"] = DecisionLedger()
         results[system] = run_benchmark(
             system,
             factory(),

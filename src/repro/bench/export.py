@@ -35,6 +35,10 @@ FIELDS = (
     "aborts_timeout",
     "aborts_site_crash",
     "max_site_utilization",
+    "updates_routed",
+    "updates_remastered",
+    "remaster_operations",
+    "partitions_moved",
 )
 
 
@@ -61,6 +65,11 @@ def run_to_row(result: RunResult) -> Dict[str, object]:
         "aborts_timeout": metrics.aborts_by_reason.get("timeout", 0),
         "aborts_site_crash": metrics.aborts_by_reason.get("site_crash", 0),
         "max_site_utilization": round(max(result.site_utilization, default=0.0), 4),
+        # Selector volume counters (0 for selector-less systems).
+        "updates_routed": metrics.selector_counters.get("updates_routed", 0),
+        "updates_remastered": metrics.selector_counters.get("updates_remastered", 0),
+        "remaster_operations": metrics.selector_counters.get("remaster_operations", 0),
+        "partitions_moved": metrics.selector_counters.get("partitions_moved", 0),
     }
 
 
@@ -85,11 +94,32 @@ def attach_attribution(row: Dict[str, object], result: RunResult) -> None:
         row[f"attrib_{category}_share"] = round(share, 5)
 
 
+def attach_mastery(row: Dict[str, object], result: RunResult) -> None:
+    """Add ``mastery_<metric>`` columns for a ledger-observed run.
+
+    No-op when no decision ledger was attached, keeping plain exports'
+    exact schema. Live results summarize their ledger here; portable
+    :class:`RunSummary` objects carry the scalars pre-folded (the
+    ledger stayed in the worker process).
+    """
+    summary = getattr(result, "mastery", None)
+    if not summary:
+        ledger = getattr(result, "ledger", None)
+        if ledger is None or not ledger.enabled:
+            return
+        summary = ledger.summary()
+    for name in ("locality_share", "entropy", "churn_partitions",
+                 "ping_pong_partitions", "ping_pong_bounces",
+                 "convergence_ms"):
+        row[f"mastery_{name}"] = summary[name]
+
+
 def rows_from(results) -> List[Dict[str, object]]:
     """Flatten a RunResult/RunSummary, a mapping of them, or nested mappings."""
     if isinstance(results, (RunResult, RunSummary)):
         row = run_to_row(results)
         attach_attribution(row, results)
+        attach_mastery(row, results)
         return [row]
     if isinstance(results, Mapping):
         rows: List[Dict[str, object]] = []
@@ -112,12 +142,15 @@ def to_csv(results) -> str:
     fields = list(FIELDS)
     if any("label" in row for row in rows):
         fields = ["label"] + fields
-    # Observed runs carry attribution share columns; keep the column
-    # set stable across rows by taking the union in category order.
+    # Observed runs carry attribution share and mastering columns; keep
+    # the column set stable across rows by taking the union in order.
     attrib = sorted({
         key for row in rows for key in row if key.startswith("attrib_")
     })
     fields += attrib
+    fields += sorted({
+        key for row in rows for key in row if key.startswith("mastery_")
+    })
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=fields, extrasaction="ignore")
     writer.writeheader()

@@ -67,6 +67,8 @@ class RunResult:
     timelines: Dict[str, Timeline] = field(default_factory=dict)
     #: The observability handle of an observed run (None otherwise).
     obs: Optional[Observability] = field(repr=False, default=None)
+    #: The decision ledger of a mastering-observed run (None otherwise).
+    ledger: Optional[object] = field(repr=False, default=None)
     #: The live system object, for deeper inspection in tests/benches.
     system: Optional[System] = field(repr=False, default=None)
     #: Host seconds spent inside :func:`run_benchmark` (setup + run).
@@ -112,6 +114,7 @@ def run_benchmark(
     obs: Optional[Observability] = None,
     streaming_metrics: bool = False,
     fault_plan=None,
+    ledger=None,
 ) -> RunResult:
     """Run ``workload`` against one system and measure it.
 
@@ -131,6 +134,10 @@ def run_benchmark(
     interpreting the given :class:`~repro.faults.FaultPlan` before the
     workload starts; without one the run is bit-identical to a build
     without the faults subsystem.
+    ``ledger`` attaches a :class:`~repro.obs.mastery.DecisionLedger` to
+    the system's site selector (ignored for selector-less systems); the
+    ledger is passive, so even a ledger-observed run's simulated
+    outcome is bit-identical to an unobserved one.
     """
     if system_name not in ALL_SYSTEMS:
         raise ValueError(f"unknown system {system_name!r}; expected one of {ALL_SYSTEMS}")
@@ -164,6 +171,12 @@ def run_benchmark(
             owner_of=scheme.owner_lookup(fixed),
         )
 
+    if ledger is not None:
+        routing = getattr(system, "selector", None)
+        if routing is not None:
+            routing.attach_ledger(ledger)
+        ledger.run_end_ms = duration_ms
+
     injector = None
     if fault_plan is not None:
         from repro.faults.injector import FaultInjector
@@ -187,6 +200,13 @@ def run_benchmark(
 
     window = duration_ms - warmup_ms
     selector = getattr(system, "selector", None)
+    if selector is not None:
+        metrics.selector_counters = {
+            "updates_routed": selector.updates_routed,
+            "updates_remastered": selector.updates_remastered,
+            "remaster_operations": selector.remaster_operations,
+            "partitions_moved": selector.partitions_moved,
+        }
     return RunResult(
         system_name=system_name,
         workload_name=workload.name,
@@ -206,6 +226,7 @@ def run_benchmark(
         injector=injector,
         timelines=dict(observability.timelines) if observability.enabled else {},
         obs=obs,
+        ledger=ledger,
         system=system,
         wall_clock_s=wall_clock_s,
         events_processed=cluster.env.events_processed,

@@ -92,6 +92,12 @@ class Metrics:
         self.aborts_by_reason: Dict[str, int] = {}
         #: Total retry attempts reported by aborted-and-retried txns.
         self.retries = 0
+        #: Site-selector volume counters folded in by the harness at the
+        #: end of a run (updates_routed / updates_remastered /
+        #: remaster_operations / partitions_moved) — remaster *volume*,
+        #: visible even in unobserved runs; empty for selector-less
+        #: systems.
+        self.selector_counters: Dict[str, int] = {}
 
     def record(
         self,
@@ -225,6 +231,11 @@ class Metrics:
         counter("repro_remastered_txns_total", [({}, self.remastered_txns)])
         counter("repro_distributed_txns_total", [({}, self.distributed_txns)])
         counter("repro_retries_total", [({}, self.retries)])
+        for name in ("updates_routed", "updates_remastered",
+                     "remaster_operations", "partitions_moved"):
+            if name in self.selector_counters:
+                counter(f"repro_selector_{name}_total",
+                        [({}, self.selector_counters[name])])
         if self.aborts:
             counter("repro_aborts_total", [
                 ({"txn_type": txn_type}, count)

@@ -162,6 +162,9 @@ class RunSpec:
     #: Attach a fresh Observability in the worker (timelines and
     #: attribution shares come back on the summary; the handle does not).
     observed: bool = False
+    #: Attach a fresh DecisionLedger in the worker (mastering metrics
+    #: come back folded on ``RunSummary.mastery``; the ledger does not).
+    mastery: bool = False
     #: Named fault scenario, instantiated in the worker via
     #: :func:`repro.faults.plan.build_scenario` against this spec's
     #: cluster size and duration.
@@ -206,6 +209,11 @@ def execute_spec(spec: RunSpec):
         from repro.obs import Observability
 
         obs = Observability()
+    ledger = None
+    if spec.mastery:
+        from repro.obs.mastery import DecisionLedger
+
+        ledger = DecisionLedger()
     return run_benchmark(
         spec.system,
         spec.workload.build(),
@@ -220,6 +228,7 @@ def execute_spec(spec: RunSpec):
         obs=obs,
         streaming_metrics=spec.streaming_metrics,
         fault_plan=plan,
+        ledger=ledger,
     )
 
 
@@ -258,6 +267,9 @@ class RunSummary:
     timelines: Dict = field(default_factory=dict)
     #: Share of commit latency per causal category (observed runs only).
     attribution_shares: Dict[str, float] = field(default_factory=dict)
+    #: Folded ledger scalars (mastery runs only): locality share,
+    #: entropy, churn, convergence — see DecisionLedger.summary().
+    mastery: Dict[str, float] = field(default_factory=dict)
     #: Canonical digest of the simulated outcome (:func:`run_fingerprint`).
     fingerprint: str = ""
     #: Host seconds the producing process spent inside ``run_benchmark``.
@@ -272,6 +284,7 @@ class RunSummary:
     system = None
     obs = None
     injector = None
+    ledger = None
 
     def latency(self, txn_type: Optional[str] = None) -> LatencySummary:
         return self.metrics.latency(txn_type)
@@ -293,6 +306,12 @@ def summarize(result) -> RunSummary:
             category: round(share, 9)
             for category, share in report.shares().items()
         }
+    mastery: Dict[str, float] = {}
+    ledger = getattr(result, "ledger", None)
+    if ledger is not None and ledger.enabled:
+        mastery = ledger.summary()
+    elif getattr(result, "mastery", None):
+        mastery = dict(result.mastery)  # re-summarizing a RunSummary
     return RunSummary(
         system_name=result.system_name,
         workload_name=result.workload_name,
@@ -311,6 +330,7 @@ def summarize(result) -> RunSummary:
         fault_events=list(result.fault_events),
         timelines=dict(result.timelines),
         attribution_shares=shares,
+        mastery=mastery,
         fingerprint=run_fingerprint(result),
         wall_clock_s=result.wall_clock_s,
         events_processed=result.events_processed,

@@ -75,11 +75,27 @@ def print_run_report(result) -> None:
         ["abort rate", f"{result.abort_rate:.2%}"],
         ["site utilization", " ".join(f"{u:.2f}" for u in result.site_utilization)],
     ]
+    if metrics.selector_counters:
+        counters = metrics.selector_counters
+        activity.append(["updates routed", f"{counters['updates_routed']:,}"])
+        activity.append(
+            ["updates remastered", f"{counters['updates_remastered']:,}"]
+        )
+        activity.append(
+            ["remaster operations", f"{counters['remaster_operations']:,}"]
+        )
+        activity.append(
+            ["partitions moved", f"{counters['partitions_moved']:,}"]
+        )
     for txn_type, count in sorted(result.aborts_by_type.items()):
         activity.append([f"aborts ({txn_type})", f"{count:,}"])
     for reason, count in sorted(result.aborts_by_reason.items()):
         activity.append([f"aborts [{reason}]", f"{count:,}"])
     print_table("protocol activity", ["metric", "value"], activity)
+    mastery = getattr(result, "mastery", None)
+    ledger = getattr(result, "ledger", None)
+    if mastery or (ledger is not None and ledger.enabled):
+        print_mastering(result)
     if result.timelines:
         print_table(
             "sampled timelines (mean / max over run)",
@@ -91,6 +107,50 @@ def print_run_report(result) -> None:
         )
     if result.obs is not None and result.obs.enabled:
         print_attribution(result)
+
+
+def print_mastering(result) -> None:
+    """Print the mastering summary of a ledger-observed run.
+
+    Works on a live :class:`~repro.bench.harness.RunResult` (summarizes
+    its ledger, and adds the top-mover timeline the live event stream
+    affords) and on a portable ``RunSummary`` whose ``mastery`` scalars
+    were folded worker-side.
+    """
+    summary = getattr(result, "mastery", None) or None
+    ledger = getattr(result, "ledger", None)
+    if summary is None:
+        if ledger is None or not ledger.enabled:
+            return
+        summary = ledger.summary()
+    convergence = summary["convergence_ms"]
+    rows = [
+        ["decisions", f"{int(summary['decisions']):,}"],
+        ["updates routed", f"{int(summary['updates_routed']):,}"],
+        ["updates remastered", f"{int(summary['updates_remastered']):,}"],
+        ["partitions moved", f"{int(summary['partitions_moved']):,}"],
+        ["locality share", f"{summary['locality_share']:.2%}"],
+        ["mastership entropy", f"{summary['entropy']:.3f}"],
+        ["churning partitions", f"{int(summary['churn_partitions']):,}"],
+        ["ping-pong partitions", f"{int(summary['ping_pong_partitions']):,}"],
+        ["ping-pong bounces", f"{int(summary['ping_pong_bounces']):,}"],
+        ["convergence",
+         "never" if convergence < 0 else f"{convergence:,.0f} ms "
+         f"(<= {summary['convergence_threshold']:.0%} per "
+         f"{summary['convergence_window_ms']:g} ms window)"],
+    ]
+    print_table("mastering (decision ledger)", ["metric", "value"], rows)
+    if ledger is not None and ledger.enabled:
+        timeline = ledger.timeline()
+        movers = timeline.top_movers(top=5)
+        if movers:
+            print_table(
+                "most remastered partitions",
+                ["partition", "moves", "timeline"],
+                [[partition, moves,
+                  timeline.render(partition, max_intervals=6)]
+                 for partition, moves in movers],
+            )
 
 
 def print_attribution(result) -> None:

@@ -11,8 +11,13 @@ Commands:
 * ``explain`` — run one combination traced and attribute commit
   latency to causal categories (``--txn`` waterfalls, ``--vs`` /
   ``--diff`` budget comparisons, ``--export`` JSON reports);
+* ``masters`` — run one combination with the decision ledger attached
+  and report mastership: locality share, windowed remaster rate,
+  convergence time, per-partition timelines, ``--why`` decision
+  waterfalls, JSONL/CSV/Prometheus export;
 * ``chaos`` — run a named fault scenario against one system and print
   the availability timeline (optionally exporting it as CSV);
+  ``--masters`` adds mastering re-convergence after each transition;
 * ``perf`` — run the pinned wall-clock matrix, write ``BENCH_perf.json``,
   or (``--check``) gate against the committed baseline;
 * ``experiments`` — list the per-figure experiment drivers.
@@ -79,7 +84,7 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="[tpcc] cross-warehouse New-Order fraction")
 
 
-def run_one(system: str, args, obs=None):
+def run_one(system: str, args, obs=None, ledger=None):
     workload = make_workload(args.workload, args)
     return run_benchmark(
         system,
@@ -92,6 +97,7 @@ def run_one(system: str, args, obs=None):
         ),
         seed=args.seed,
         obs=obs,
+        ledger=ledger,
     )
 
 
@@ -255,6 +261,87 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_masters(args) -> int:
+    from repro.bench.report import print_mastering
+    from repro.obs.mastery import DecisionLedger, render_decision
+
+    if args.window <= 0:
+        print(f"repro masters: error: --window must be positive, "
+              f"got {args.window}", file=sys.stderr)
+        return 2
+    ledger = DecisionLedger()
+    result = run_one(args.system, args, ledger=ledger)
+
+    if args.why is not None:
+        if not 0 <= args.why < len(ledger.decisions):
+            print(f"repro masters: error: decision {args.why} was not "
+                  f"recorded (this run made {len(ledger.decisions)} "
+                  f"decisions, numbered from 0)", file=sys.stderr)
+            return 2
+        print(render_decision(ledger.decisions[args.why]))
+        return 0
+
+    print_mastering(result)
+    series = ledger.rate_series(args.window)
+    print_table(
+        f"windowed remaster rate ({args.window:g} ms windows)",
+        ["window start", "routed", "remastered", "moved", "fraction"],
+        [
+            [f"{window.start_ms:g}", window.routed, window.remastered,
+             window.partitions_moved, f"{window.remaster_fraction:.2%}"]
+            for window in series
+        ],
+    )
+    convergence = ledger.convergence_time(
+        threshold=args.threshold, window_ms=args.window
+    )
+    print()
+    if convergence is None:
+        print(f"convergence: never settled at <= {args.threshold:.0%} "
+              f"remastered per window")
+    else:
+        print(f"convergence: {convergence:,.0f} ms from run start "
+              f"(<= {args.threshold:.0%} remastered per {args.window:g} ms "
+              f"window, steady through run end)")
+
+    timeline = ledger.timeline()
+    if args.partition is not None:
+        print()
+        print(timeline.render(args.partition, end=result.duration_ms))
+    if args.decisions:
+        print_table(
+            f"last {args.decisions} remaster decisions (--why <seq> for "
+            f"the score waterfall)",
+            ["seq", "at ms", "txn", "chosen", "runner-up", "margin",
+             "tie", "moved"],
+            [
+                [record.seq, f"{record.at_ms:g}", record.txn_id,
+                 record.chosen,
+                 "-" if record.runner_up is None else record.runner_up,
+                 f"{record.margin:.3g}", record.tie_break,
+                 record.partitions_moved]
+                for record in ledger.decisions[-args.decisions:]
+            ],
+        )
+
+    if args.export_jsonl:
+        ledger.write_jsonl(args.export_jsonl)
+        print(f"wrote {args.export_jsonl}", file=sys.stderr)
+    if args.export_csv:
+        ledger.write_csv(args.export_csv, window_ms=args.window)
+        print(f"wrote {args.export_csv}", file=sys.stderr)
+    if args.prometheus:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        ledger.to_registry(registry, threshold=args.threshold,
+                           window_ms=args.window)
+        with open(args.prometheus, "w") as handle:
+            handle.write(registry.to_prometheus())
+        print(f"wrote {args.prometheus}", file=sys.stderr)
+    return 0
+
+
 def cmd_compare(args) -> int:
     systems = args.systems.split(",") if args.systems else list(ALL_SYSTEMS)
     rows = []
@@ -330,6 +417,11 @@ def cmd_chaos(args) -> int:
         from repro.obs import Observability
 
         obs = Observability()
+    ledger = None
+    if args.masters:
+        from repro.obs.mastery import DecisionLedger
+
+        ledger = DecisionLedger()
     report = run_chaos(
         args.system,
         args.scenario,
@@ -339,6 +431,7 @@ def cmd_chaos(args) -> int:
         bucket_ms=args.bucket,
         seed=args.seed,
         obs=obs,
+        ledger=ledger,
     )
     print_table(
         f"chaos: {args.system} under {args.scenario} "
@@ -374,6 +467,26 @@ def cmd_chaos(args) -> int:
                     for category, delta in shifts
                 ],
             )
+    if args.masters:
+        mastering = report.mastering_summary(window_ms=args.bucket)
+        if mastering is not None:
+            from repro.bench.report import print_mastering
+
+            print_mastering(report.result)
+            rows = []
+            for entry in mastering["reconvergence"]:
+                settled = entry["reconvergence_ms"]
+                rows.append([
+                    f"{entry['kind']} site{entry['site']}",
+                    f"{entry['at_ms']:g}",
+                    "never" if settled is None else f"{settled:,.0f} ms",
+                ])
+            if rows:
+                print_table(
+                    "mastering re-convergence after fault transitions",
+                    ["event", "at ms", "re-converged in"],
+                    rows,
+                )
     if args.out:
         report.write_csv(args.out)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -400,25 +513,41 @@ def _chaos_matrix(args, systems, scenarios) -> int:
             duration_ms=args.duration,
             bucket_ms=args.bucket,
             seed=args.seed,
+            mastery=args.masters,
         )
     except (SpecExecutionError, ValueError) as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
         return 2
     rows = []
+    headers = ["system", "scenario", "commits", "aborts", "steady/s",
+               "min/s", "final/s", "recovered"]
+    if args.masters:
+        headers += ["locality", "converged"]
     for (system, scenario), report in reports.items():
         aborts = sum(report.aborts_by_reason.values())
-        rows.append([
+        row = [
             system, scenario, report.commits, aborts,
             f"{report.steady_rate():,.0f}", f"{report.min_rate():,.0f}",
             f"{report.final_rate():,.0f}",
             "yes" if report.recovered() else "NO",
-        ])
+        ]
+        if args.masters:
+            mastering = report.mastering_summary(window_ms=args.bucket)
+            if mastering is None:
+                row += ["-", "-"]
+            else:
+                summary = mastering["summary"]
+                converged = summary["convergence_ms"]
+                row += [
+                    f"{summary['locality_share']:.1%}",
+                    "never" if converged < 0 else f"{converged:,.0f} ms",
+                ]
+        rows.append(row)
     print_table(
         f"chaos matrix: {len(systems)} system(s) x {len(scenarios)} "
         f"scenario(s) ({args.sites} sites, {args.duration:g} ms, "
         f"jobs={args.jobs})",
-        ["system", "scenario", "commits", "aborts", "steady/s", "min/s",
-         "final/s", "recovered"],
+        headers,
         rows,
     )
     if args.out:
@@ -532,6 +661,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_common_arguments(explain)
     explain.set_defaults(fn=cmd_explain)
 
+    masters = commands.add_parser(
+        "masters", help="run one system with the decision ledger and "
+                        "report mastership timelines and convergence"
+    )
+    masters.add_argument("--system", choices=ALL_SYSTEMS, default="dynamast")
+    masters.add_argument("--window", type=float, default=100.0,
+                         help="remaster-rate window, simulated ms")
+    masters.add_argument("--threshold", type=float, default=0.05,
+                         help="steady-state remastered fraction defining "
+                              "convergence (default: %(default)s)")
+    masters.add_argument("--why", type=int, default=None, metavar="SEQ",
+                         help="print one decision's provenance waterfall "
+                              "and exit")
+    masters.add_argument("--partition", type=int, default=None,
+                         help="print this partition's ownership timeline")
+    masters.add_argument("--decisions", type=int, default=10,
+                         help="recent decisions to list (0 to hide)")
+    masters.add_argument("--export-jsonl", default="",
+                         help="write the full ledger (repro-masters/1 JSONL)")
+    masters.add_argument("--export-csv", default="",
+                         help="write the windowed remaster-rate series as CSV")
+    masters.add_argument("--prometheus", default="",
+                         help="write mastering metrics in Prometheus text "
+                              "exposition format")
+    add_common_arguments(masters)
+    masters.set_defaults(fn=cmd_masters)
+
     from repro.faults.plan import SCENARIOS
 
     chaos = commands.add_parser(
@@ -556,6 +712,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--out", default="", help="write the timeline as CSV")
     chaos.add_argument("--explain", action="store_true",
                        help="trace the run and attribute the availability dip")
+    chaos.add_argument("--masters", action="store_true",
+                       help="attach the decision ledger and report mastering "
+                            "re-convergence after each fault transition")
     chaos.set_defaults(fn=cmd_chaos)
 
     from repro.bench.perf import DEFAULT_REPORT, DEFAULT_TOLERANCE

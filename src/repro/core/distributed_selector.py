@@ -71,6 +71,10 @@ class ReplicaSelector:
         site = believed.pop()
         self.cluster.activity.begin(site, partitions)
         self.local_routes += 1
+        # Replica-local routes bypass the master selector; record them
+        # in its ledger so locality share covers every routed update.
+        if self.master.ledger.enabled:
+            self.master.ledger.route(self.env.now, site, 0)
         return RouteResult(site, None, tuple(partitions), False)
 
     def submit_update(self, txn: Transaction, session: Session):

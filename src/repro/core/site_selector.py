@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.partitions import PartitionTable
 from repro.core.statistics import AccessStatistics, StatisticsConfig
 from repro.core.strategy import RemasterStrategy, StrategyWeights
+from repro.obs.mastery import NULL_LEDGER
 from repro.faults.errors import (
     REASON_SITE_CRASH,
     REASON_TIMEOUT,
@@ -101,6 +102,24 @@ class SiteSelector:
         self.route_counts: List[int] = [0] * cluster.num_sites
         #: Monotonic counter making activity tokens unique per routing.
         self._route_seq = 0
+        #: Decision ledger (mastering observatory, DESIGN.md §6.6).
+        #: NULL_LEDGER by default; every hook below sits behind an
+        #: ``enabled`` check, like the tracer, so unobserved runs pay
+        #: one attribute load per routing.
+        self.ledger = NULL_LEDGER
+
+    def attach_ledger(self, ledger) -> None:
+        """Install a :class:`~repro.obs.mastery.DecisionLedger`.
+
+        Snapshots the current partition -> master placement so the
+        ledger can reconstruct the full mastership timeline. The ledger
+        is passive — it records already-computed values and never
+        interacts with the simulation — so an observed run's simulated
+        outcome is bit-identical to an unobserved one.
+        """
+        self.ledger = ledger
+        if ledger.enabled:
+            ledger.record_placement(self.table.snapshot(), self.env.now)
 
     # -- write routing (Algorithm 1 driver) ------------------------------------
 
@@ -137,6 +156,8 @@ class SiteSelector:
             if traced:
                 tracer.span("route", route_started, env.now,
                             track="selector", txn=txn, site=site)
+            if self.ledger.enabled:
+                self.ledger.route(env.now, site, 0)
             return RouteResult(site, None, tuple(partitions), False)
 
         # Distributed masters: upgrade to exclusive partition locks.
@@ -159,20 +180,26 @@ class SiteSelector:
             if traced:
                 tracer.span("route", route_started, env.now,
                             track="selector", txn=txn, site=site)
+            if self.ledger.enabled:
+                self.ledger.route(env.now, site, 0)
             return RouteResult(site, None, tuple(partitions), False)
 
         yield from self.cpu.use(self.config.costs.remaster_decision_ms,
                                 txn=txn, track="selector")
         site_vvs = [site.svv for site in self.cluster.sites]
         session_vv = session.cvv if session is not None else None
-        destination, _scores = self.strategy.choose_site(
-            partitions, site_vvs, session_vv
-        )
+        decision = self.strategy.decide(partitions, site_vvs, session_vv)
+        destination = decision.site
         moves = [
             (source, tuple(group))
             for source, group in self.table.group_by_master(partitions).items()
             if source != destination
         ]
+        decision_seq = None
+        if self.ledger.enabled:
+            decision_seq = self.ledger.decision(
+                env.now, txn, partitions, decision, self.strategy.weights, moves
+            )
         # Keep exclusive locks only on the partitions actually moving;
         # the rest downgrade to shared so that unrelated transactions on
         # those (typically hot, stationary) partitions keep routing
@@ -189,9 +216,12 @@ class SiteSelector:
         min_vv = VersionVector.zeros(self.cluster.num_sites)
         for grant_vv in grant_vvs:
             min_vv = min_vv.element_max(grant_vv)
-        for _, group in moves:
+        for source, group in moves:
             for partition in group:
                 self.table.set_master(partition, destination)
+                if self.ledger.enabled:
+                    self.ledger.ownership(env.now, partition, source,
+                                          destination, decision_seq)
         moved = sum(len(group) for group in (group for _, group in moves))
         self.remaster_operations += len(moves)
         self.partitions_moved += moved
@@ -209,6 +239,8 @@ class SiteSelector:
         if traced:
             tracer.span("route", route_started, env.now,
                         track="selector", txn=txn, site=destination)
+        if self.ledger.enabled:
+            self.ledger.route(env.now, destination, moved)
         return RouteResult(destination, min_vv, tuple(partitions), True, moved)
 
     def _register(
@@ -311,6 +343,8 @@ class SiteSelector:
             site = masters.pop() if masters else 0
             if self._healthy(site):
                 self._register(site, partitions, shared=True, token=token)
+                if self.ledger.enabled:
+                    self.ledger.route(env.now, site, 0)
                 return RouteResult(site, None, tuple(partitions), False, token=token)
         # Unhealthy master or distributed write set: exclusive locks on
         # everything, then remaster onto a live destination.
@@ -325,6 +359,8 @@ class SiteSelector:
                 if self._healthy(only):
                     # A concurrent routing already healed this write set.
                     self._register(only, partitions, token=token)
+                    if self.ledger.enabled:
+                        self.ledger.route(env.now, only, 0)
                     return RouteResult(
                         only, None, tuple(partitions), False, token=token
                     )
@@ -342,6 +378,8 @@ class SiteSelector:
             self.partitions_moved += moved
             self.updates_remastered += 1
         self._register(destination, partitions, token=token)
+        if self.ledger.enabled:
+            self.ledger.route(env.now, destination, moved)
         return RouteResult(
             destination,
             min_vv if operations else None,
@@ -375,7 +413,10 @@ class SiteSelector:
                 only = next(iter(masters))
                 if self._healthy(only):
                     return only, min_vv, moved, operations
-            destination = self._choose_destination_faulted(partitions, session)
+            decision, excluded = self._choose_destination_faulted(
+                partitions, session
+            )
+            destination = decision.site
             moves = [
                 (source, tuple(group))
                 for source, group in sorted(groups.items())
@@ -383,6 +424,12 @@ class SiteSelector:
             ]
             if not moves:
                 return destination, min_vv, moved, operations
+            decision_seq = None
+            if self.ledger.enabled:
+                decision_seq = self.ledger.decision(
+                    self.env.now, txn, partitions, decision,
+                    self.strategy.weights, moves, excluded=excluded,
+                )
             for source, group in moves:
                 target, grant_vv = yield from self._move_faulted(
                     source, group, destination, txn
@@ -390,6 +437,12 @@ class SiteSelector:
                 min_vv = min_vv.element_max(grant_vv)
                 for partition in group:
                     self.table.set_master(partition, target)
+                    # The grant can fail over to a live site other than
+                    # the decision's choice; the timeline records where
+                    # mastership actually landed.
+                    if self.ledger.enabled:
+                        self.ledger.ownership(self.env.now, partition,
+                                              source, target, decision_seq)
                 operations += 1
                 moved += len(group)
         reason = REASON_SITE_CRASH if faults.any_crashed else REASON_TIMEOUT
@@ -399,8 +452,14 @@ class SiteSelector:
 
     def _choose_destination_faulted(
         self, partitions: Sequence[int], session: Optional[Session]
-    ) -> int:
-        """Strategy choice restricted to live (and ideally unsuspected) sites."""
+    ):
+        """Strategy choice restricted to live (and ideally unsuspected) sites.
+
+        Returns ``(decision, excluded)`` — the full
+        :class:`~repro.core.strategy.StrategyDecision` plus the
+        candidate sites failure handling removed, both recorded by the
+        decision ledger when one is attached.
+        """
         faults = self.cluster.faults
         sites = self.cluster.sites
         dead = {site.index for site in sites if not site.alive}
@@ -414,10 +473,10 @@ class SiteSelector:
             exclude = dead
         site_vvs = [site.svv for site in sites]
         session_vv = session.cvv if session is not None else None
-        destination, _scores = self.strategy.choose_site(
+        decision = self.strategy.decide(
             partitions, site_vvs, session_vv, exclude=exclude
         )
-        return destination
+        return decision, exclude
 
     def _move_faulted(
         self,

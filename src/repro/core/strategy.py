@@ -104,6 +104,30 @@ class SiteScore:
     benefit: float
 
 
+@dataclass(slots=True)
+class StrategyDecision:
+    """One remastering decision with its full score breakdown.
+
+    Everything the decision ledger needs to replay the choice offline:
+    every candidate's per-feature scores, the winner, the runner-up and
+    the margin separating them, and — when the top scores tied within
+    the tie margin — which sites tied and how the tie was resolved
+    (``"rng"`` for the seeded tie-break stream, ``"lowest-site"`` for
+    the deterministic fallback, ``"clear"`` when there was no tie).
+    """
+
+    site: int
+    scores: List[SiteScore]
+    #: Site with the second-highest benefit (None with one candidate).
+    runner_up: Optional[int]
+    #: ``benefit(site) - benefit(runner_up)`` — 0.0 on exact ties.
+    margin: float
+    #: Sites whose benefit tied with the top within the tie margin.
+    tied: Tuple[int, ...]
+    #: How the winner was picked: "clear" | "rng" | "lowest-site".
+    tie_break: str
+
+
 def balance_distance(loads: Sequence[float]) -> float:
     """Distance from perfect write balance (Equation 2, see module note)."""
     sites = len(loads)
@@ -255,19 +279,38 @@ class RemasterStrategy:
         )
         return SiteScore(candidate, balance, delay, intra, inter, benefit)
 
-    def choose_site(
+    def decide(
         self,
         write_partitions: Sequence[int],
         site_vvs: Sequence[VersionVector],
         session_vv: Optional[VersionVector] = None,
         exclude: Optional[set] = None,
-    ) -> Tuple[int, List[SiteScore]]:
-        """Pick the destination site for a remastering operation.
+    ) -> StrategyDecision:
+        """Score every candidate and pick the destination site.
 
         ``site_vvs`` holds the current version vector of every site
         (index-aligned). ``exclude`` removes candidates (crashed or
-        suspected sites during failure handling). Returns the winning
-        site and all scores.
+        suspected sites during failure handling).
+
+        Tie-breaking contract (deterministic, in this order):
+
+        1. Candidates whose benefit falls within the tie margin of the
+           top score (``1e-12 + 1e-9 * |top|`` — exact ties plus float
+           noise) form the tied set.
+        2. With a configured tie-break stream (the per-run seeded
+           ``strategy-tiebreak`` stream — the production setup), the
+           winner is drawn from the tied set with it. The draw sequence
+           is a pure function of the run seed, so repeated runs decide
+           identically; the randomization only prevents cold-start
+           decisions (all features zero) from stampeding every
+           partition to one site.
+        3. Without a stream (``rng=None``), the **lowest site id**
+           among the tied candidates wins. This is the documented
+           fallback unit tests and offline recomputation rely on.
+
+        The returned :class:`StrategyDecision` records the margin over
+        the runner-up, the tied set, and which rule picked the winner,
+        so a recorded decision is auditable even when rule 2 applied.
         """
         loads = self.statistics.site_write_loads(self.table.master_of, self.num_sites)
         current_masters = {self.table.master_of(p) for p in write_partitions}
@@ -300,6 +343,40 @@ class RemasterStrategy:
         tied = [score for score in scores if top - score.benefit <= margin]
         if len(tied) > 1 and self._rng is not None:
             best = tied[self._rng.randrange(len(tied))]
+            tie_break = "rng"
+        elif len(tied) > 1:
+            # Candidates are scored in increasing site order, so the
+            # first tied entry is the lowest site id; min() makes the
+            # documented rule explicit rather than incidental.
+            best = min(tied, key=lambda score: score.site)
+            tie_break = "lowest-site"
         else:
             best = tied[0]
-        return best.site, scores
+            tie_break = "clear"
+        runner_up: Optional[int] = None
+        runner_benefit = -math.inf
+        for score in scores:
+            if score is best:
+                continue
+            if score.benefit > runner_benefit:
+                runner_benefit = score.benefit
+                runner_up = score.site
+        return StrategyDecision(
+            site=best.site,
+            scores=scores,
+            runner_up=runner_up,
+            margin=0.0 if runner_up is None else best.benefit - runner_benefit,
+            tied=tuple(score.site for score in tied) if len(tied) > 1 else (),
+            tie_break=tie_break,
+        )
+
+    def choose_site(
+        self,
+        write_partitions: Sequence[int],
+        site_vvs: Sequence[VersionVector],
+        session_vv: Optional[VersionVector] = None,
+        exclude: Optional[set] = None,
+    ) -> Tuple[int, List[SiteScore]]:
+        """Legacy wrapper: the winning site and all candidate scores."""
+        decision = self.decide(write_partitions, site_vvs, session_vv, exclude)
+        return decision.site, decision.scores

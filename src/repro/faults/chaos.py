@@ -81,6 +81,44 @@ class ChaosReport:
 
         return AttributionReport.from_result(self.result)
 
+    # -- mastering re-convergence (ledger-observed chaos runs) ---------------
+
+    def mastering_summary(
+        self, threshold: float = 0.05, window_ms: float = 250.0
+    ) -> Optional[Dict]:
+        """Mastering metrics with per-disruption re-convergence.
+
+        For a chaos run with a decision ledger attached
+        (``run_chaos(..., ledger=DecisionLedger())`` or the CLI's
+        ``repro chaos --masters``), returns the ledger's scalar summary
+        plus a ``reconvergence`` list with one entry per fault
+        transition: how many milliseconds after the event the windowed
+        remaster rate settled back at or below ``threshold`` (None when
+        it never did — e.g. the run ended mid-storm). A portable
+        summary that only carries folded scalars gets an empty
+        ``reconvergence`` list (the event-level series stayed in the
+        worker). None when the run carried no ledger at all.
+        """
+        ledger = getattr(self.result, "ledger", None) if self.result else None
+        if ledger is not None and ledger.enabled:
+            summary = ledger.summary(threshold=threshold, window_ms=window_ms)
+            reconvergence = [
+                {
+                    "at_ms": at_ms,
+                    "kind": kind,
+                    "site": site,
+                    "reconvergence_ms": ledger.convergence_time(
+                        after=at_ms, threshold=threshold, window_ms=window_ms
+                    ),
+                }
+                for at_ms, kind, site in self.fault_events
+            ]
+            return {"summary": summary, "reconvergence": reconvergence}
+        folded = getattr(self.result, "mastery", None) if self.result else None
+        if folded:
+            return {"summary": dict(folded), "reconvergence": []}
+        return None
+
     def degraded_windows(self) -> List[Tuple[float, float]]:
         """``[crash, restart)`` windows during which any site was down."""
         windows: List[Tuple[float, float]] = []
@@ -184,6 +222,7 @@ def run_chaos(
     workload=None,
     plan: Optional[FaultPlan] = None,
     obs=None,
+    ledger=None,
 ) -> ChaosReport:
     """Run ``scenario`` against ``system_name`` and report availability.
 
@@ -193,7 +232,10 @@ def run_chaos(
     conflicts that the fault handling actually gets exercised.
     Passing ``obs`` (an :class:`~repro.obs.Observability`) traces the
     run so :meth:`ChaosReport.dip_blame` can attribute the availability
-    dip.
+    dip; passing ``ledger`` (a :class:`~repro.obs.mastery.
+    DecisionLedger`) records remaster decisions so
+    :meth:`ChaosReport.mastering_summary` can report re-convergence
+    after each fault transition.
     """
     if plan is None:
         plan = build_scenario(scenario, num_sites=num_sites, duration_ms=duration_ms)
@@ -211,6 +253,7 @@ def run_chaos(
         seed=seed,
         fault_plan=plan,
         obs=obs,
+        ledger=ledger,
     )
     return report_from_result(
         result, scenario,
@@ -279,6 +322,7 @@ def run_chaos_matrix(
     bucket_ms: float = 250.0,
     seed: int = 0,
     workload: Optional[WorkloadSpec] = None,
+    mastery: bool = False,
 ) -> "Dict[Tuple[str, str], ChaosReport]":
     """Fan a (system x scenario) chaos matrix over worker processes.
 
@@ -301,6 +345,7 @@ def run_chaos_matrix(
             cluster=ClusterConfig(num_sites=num_sites),
             seed=seed,
             fault_scenario=scenario,
+            mastery=mastery,
             label=f"chaos:{system}/{scenario}",
         )
         for system, scenario in combos

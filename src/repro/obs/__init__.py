@@ -47,6 +47,19 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.mastery import (
+    NULL_LEDGER,
+    CandidateScore,
+    DecisionLedger,
+    DecisionRecord,
+    MastershipTimeline,
+    NullLedger,
+    OwnershipChange,
+    OwnershipInterval,
+    RateWindow,
+    recompute_decision,
+    render_decision,
+)
 from repro.obs.registry import Counter, Gauge, MetricsRegistry, StreamingHistogram
 from repro.obs.sampler import Timeline, TimelineSampler, attach_cluster_probes
 from repro.obs.tracer import (
@@ -63,18 +76,27 @@ from repro.obs.tracer import (
 __all__ = [
     "CATEGORIES",
     "EDGE_KINDS",
+    "NULL_LEDGER",
     "NULL_OBS",
     "NULL_TRACER",
     "AttributionError",
     "AttributionReport",
+    "CandidateScore",
     "Counter",
+    "DecisionLedger",
+    "DecisionRecord",
     "EdgeRecord",
     "Gauge",
     "InstantRecord",
+    "MastershipTimeline",
     "MetricsRegistry",
+    "NullLedger",
     "NullTracer",
     "Observability",
+    "OwnershipChange",
+    "OwnershipInterval",
     "PathSegment",
+    "RateWindow",
     "SpanNode",
     "SpanRecord",
     "StreamingHistogram",
@@ -89,6 +111,8 @@ __all__ = [
     "flame_summary",
     "path_categories",
     "reconcile_with_metrics",
+    "recompute_decision",
+    "render_decision",
     "render_waterfall",
     "to_chrome_trace",
     "to_jsonl",

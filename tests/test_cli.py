@@ -185,3 +185,79 @@ class TestChaosCommand:
         output = capsys.readouterr().out
         assert "availability-dip attribution" in output
         assert "steady" in output and "degraded" in output
+
+    def test_chaos_masters_reports_reconvergence(self, capsys):
+        code = main([
+            "chaos", "--system", "dynamast", "--scenario", "crash-restart",
+            "--duration", "900", "--bucket", "300", "--clients", "4",
+            "--masters",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mastering (decision ledger)" in output
+        assert "mastering re-convergence after fault transitions" in output
+        assert "crash site" in output and "restart site" in output
+
+    def test_chaos_matrix_masters_columns(self, capsys):
+        code = main([
+            "chaos", "--systems", "dynamast,single-master",
+            "--scenarios", "crash", "--duration", "600", "--bucket", "300",
+            "--clients", "2", "--jobs", "2", "--masters",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "chaos matrix" in output
+        assert "locality" in output and "converged" in output
+
+
+ARGS_MASTERS = [
+    "masters", "--system", "dynamast", "--workload", "ycsb",
+    "--skew", "0.9", "--clients", "8", "--duration", "400", "--seed", "7",
+]
+
+
+class TestMastersCommand:
+    def test_masters_reports_timeline_and_convergence(self, capsys):
+        code = main(ARGS_MASTERS + ["--partition", "0"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mastering (decision ledger)" in output
+        assert "windowed remaster rate" in output
+        assert "convergence:" in output
+        assert "partition 0:" in output
+        assert "remaster decisions" in output
+
+    def test_masters_why_renders_the_waterfall(self, capsys):
+        code = main(ARGS_MASTERS + ["--why", "0"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "decision #0" in output
+        assert "<- chosen" in output
+        assert "weights:" in output
+
+    def test_masters_why_out_of_range_fails_cleanly(self, capsys):
+        code = main(ARGS_MASTERS + ["--why", "999999"])
+        assert code == 2
+        assert "was not recorded" in capsys.readouterr().err
+
+    def test_masters_rejects_bad_window(self, capsys):
+        code = main(ARGS_MASTERS + ["--window", "0"])
+        assert code == 2
+        assert "--window must be positive" in capsys.readouterr().err
+
+    def test_masters_exports(self, capsys, tmp_path):
+        from repro.obs.mastery import load_jsonl
+
+        jsonl = tmp_path / "ledger.jsonl"
+        csv_path = tmp_path / "rate.csv"
+        prom = tmp_path / "masters.prom"
+        code = main(ARGS_MASTERS + [
+            "--export-jsonl", str(jsonl), "--export-csv", str(csv_path),
+            "--prometheus", str(prom),
+        ])
+        assert code == 0
+        loaded = load_jsonl(str(jsonl))
+        assert loaded["header"]["schema"] == "repro-masters/1"
+        assert loaded["decisions"]
+        assert csv_path.read_text().startswith("start_ms,routed,remastered")
+        assert "repro_masters_locality_share" in prom.read_text()

@@ -155,6 +155,18 @@ class TestDeterminismGuard:
     def test_exempt_wrapper_exists(self):
         assert (SRC / "sim" / "rand.py").exists()
 
+    def test_obs_package_is_scanned(self):
+        """The observability layer (tracer, attribution, decision
+        ledger) must itself be deterministic — it records simulated
+        quantities and must never stamp them with host time or draw
+        randomness. Ensure no exemption sneaks it out of the scan."""
+        scanned = {str(path.relative_to(SRC)) for path in repro_sources()}
+        for module in ("tracer.py", "attribution.py", "registry.py",
+                       "mastery.py"):
+            assert f"obs/{module}" in scanned, (
+                f"obs/{module} escaped the determinism guard"
+            )
+
     def test_faults_package_is_scanned(self):
         """The fault subsystem must stay under the determinism contract
         (its loss draws come from the seeded faults stream, never from

@@ -57,6 +57,40 @@ class TestExport:
         assert rows[0]["label"] == "x"
         assert float(rows[0]["throughput"]) > 0
 
+    def test_selector_counter_columns(self, sample_run):
+        row = run_to_row(sample_run)
+        assert row["updates_routed"] > 0
+        assert row["updates_remastered"] >= 0
+        assert row["remaster_operations"] >= 0
+        assert row["partitions_moved"] >= 0
+
+    def test_mastery_columns_for_ledger_observed_runs(self):
+        from repro.obs.mastery import DecisionLedger
+
+        ledger = DecisionLedger()
+        observed = run_benchmark(
+            "dynamast",
+            YCSBWorkload(YCSBConfig(num_partitions=30, affinity_txns=40)),
+            num_clients=4, duration_ms=200.0, warmup_ms=50.0,
+            cluster_config=ClusterConfig(num_sites=2), ledger=ledger,
+        )
+        rows = rows_from(observed)
+        row = rows[0]
+        for name in ("mastery_locality_share", "mastery_entropy",
+                     "mastery_churn_partitions", "mastery_convergence_ms"):
+            assert name in row
+        assert 0.0 <= row["mastery_locality_share"] <= 1.0
+        text = to_csv({"observed": observed})
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert "mastery_locality_share" in parsed[0]
+
+    def test_plain_runs_keep_exact_schema(self, sample_run):
+        """Ledger-off exports gain no mastery_* columns."""
+        row = run_to_row(sample_run)
+        rows = rows_from(sample_run)
+        assert not any(key.startswith("mastery_") for key in rows[0])
+        assert not any(key.startswith("mastery_") for key in row)
+
     def test_write_files(self, sample_run, tmp_path):
         json_path = tmp_path / "out.json"
         csv_path = tmp_path / "out.csv"

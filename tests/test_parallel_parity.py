@@ -62,6 +62,23 @@ class TestRunSuiteParity:
         assert summary.attribution_shares  # folded worker-side
         assert summary.attribution_shares == live.portable().attribution_shares
 
+    def test_mastery_runs_fold_identical_summaries(self):
+        """--jobs N mastering runs carry the same scalars as serial,
+        and attaching the ledger never perturbs the simulation."""
+        spec = tiny_workload_spec()
+        kwargs = dict(systems=SYSTEMS, cluster=CLUSTER, seed=3, **TINY)
+        plain = run_suite(spec, jobs=1, **kwargs)
+        serial = run_suite(spec, jobs=1, mastery=True, **kwargs)
+        parallel = run_suite(spec, jobs=2, mastery=True, **kwargs)
+        for system in SYSTEMS:
+            live, summary = serial[system], parallel[system]
+            # Passive recorder: mastering-observed == unobserved.
+            assert summary.fingerprint == run_fingerprint(plain[system])
+            assert summary.fingerprint == run_fingerprint(live)
+            # The folded scalars match the live ledger's summary.
+            assert summary.mastery == live.ledger.summary()
+            assert summary.mastery["updates_routed"] > 0
+
     def test_faulted_suite_parity(self):
         spec = tiny_workload_spec()
         kwargs = dict(systems=("dynamast",), cluster=CLUSTER, seed=3,

@@ -186,6 +186,97 @@ class TestWeights:
         assert all(score.intra_txn == 0.0 for score in scores)
 
 
+class TestTieBreaking:
+    """The documented deterministic tie contract of ``decide()``."""
+
+    def tied_strategy(self, rng=None, num_sites=3):
+        # Fresh statistics and balanced placement: every feature is
+        # zero for every candidate, an exact three-way tie.
+        env = Environment()
+        table = PartitionTable(env, {site: site for site in range(num_sites)})
+        stats = AccessStatistics(StatisticsConfig())
+        return RemasterStrategy(
+            StrategyWeights(), stats, table, num_sites, rng=rng
+        )
+
+    def test_exact_tie_without_rng_picks_lowest_site(self):
+        strategy = self.tied_strategy(rng=None)
+        decision = strategy.decide([1], fresh_vvs(3))
+        assert decision.site == 0
+        assert decision.tie_break == "lowest-site"
+        assert decision.tied == (0, 1, 2)
+        assert decision.margin == 0.0
+
+    def test_lowest_site_fallback_is_stable(self):
+        strategy = self.tied_strategy(rng=None)
+        first = strategy.decide([2], fresh_vvs(3))
+        assert all(
+            strategy.decide([2], fresh_vvs(3)).site == first.site
+            for _ in range(5)
+        )
+
+    def test_rng_tie_break_draws_from_tied_set_deterministically(self):
+        import random
+
+        picks = []
+        for _ in range(2):
+            strategy = self.tied_strategy(rng=random.Random(42))
+            decision = strategy.decide([1], fresh_vvs(3))
+            assert decision.tie_break == "rng"
+            assert decision.site in decision.tied
+            picks.append(decision.site)
+        # Same seed, same draw: the rng rule is a function of the seed.
+        assert picks[0] == picks[1]
+
+    def test_clear_win_records_margin_and_no_tie(self):
+        strategy, stats, _ = make_strategy(
+            {0: 0, 1: 0, 2: 1}, weights=StrategyWeights(balance=1.0, delay=0.0)
+        )
+        for time in range(8):
+            stats.observe(float(time), 1, [0])
+        stats.observe(8.0, 1, [1])
+        stats.observe(9.0, 1, [2])
+        decision = strategy.decide([1, 2], fresh_vvs(2))
+        assert decision.tie_break == "clear"
+        assert decision.tied == ()
+        assert decision.runner_up is not None
+        assert decision.runner_up != decision.site
+        assert decision.margin > 0.0
+
+    def test_exclude_removes_candidates(self):
+        strategy = self.tied_strategy(rng=None)
+        decision = strategy.decide([1], fresh_vvs(3), exclude={0})
+        assert decision.site == 1  # lowest surviving site
+        assert decision.tied == (1, 2)
+        with pytest.raises(ValueError, match="no candidate sites"):
+            strategy.decide([1], fresh_vvs(3), exclude={0, 1, 2})
+
+    def test_near_tie_within_float_noise_margin_counts_as_tied(self):
+        strategy = self.tied_strategy(rng=None)
+        scores = {0: 1.0, 1: 1.0 + 1e-13, 2: 0.5}
+        original = strategy.score_site
+
+        def doctored(candidate, *args, **kwargs):
+            score = original(candidate, *args, **kwargs)
+            return type(score)(
+                score.site, score.balance, score.refresh_delay,
+                score.intra_txn, score.inter_txn, scores[candidate],
+            )
+
+        strategy.score_site = doctored
+        decision = strategy.decide([1], fresh_vvs(3))
+        assert decision.tied == (0, 1)
+        assert decision.site == 0  # lowest of the tied pair
+        assert decision.tie_break == "lowest-site"
+
+    def test_choose_site_wrapper_matches_decide(self):
+        strategy = self.tied_strategy(rng=None)
+        site, scores = strategy.choose_site([1], fresh_vvs(3))
+        decision = strategy.decide([1], fresh_vvs(3))
+        assert site == decision.site
+        assert [s.site for s in scores] == [s.site for s in decision.scores]
+
+
 class TestEquation8:
     def test_benefit_combines_features_linearly(self):
         strategy, stats, _ = make_strategy(
