@@ -1,6 +1,6 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test lint bench examples quick chaos explain-smoke masters-smoke perf perf-check clean
+.PHONY: install test lint bench examples quick chaos chaos-gray explain-smoke masters-smoke perf perf-check clean
 
 # Worker processes for parallel-capable targets (perf, test with
 # pytest-xdist installed). 1 = classic serial behavior.
@@ -47,6 +47,28 @@ chaos:
 	python -m repro chaos --system multi-master --scenario partition --duration 2000 --clients 8
 	python -m repro chaos --system partition-store --scenario lossy --duration 2000 --clients 8
 	python -m repro chaos --system leap --scenario crash-restart --duration 2000 --clients 8
+
+# Gray-failure sweep: every system through every gray scenario
+# (fail-slow master, degraded WAN link, flapping site, gray storm)
+# with the adaptive defenses armed — phi-accrual detection, adaptive
+# deadlines, hedged reads, health-aware remastering — at two seeds,
+# plus the headline fixed-vs-adaptive comparison on the fail-slow
+# master (EXPERIMENTS.md, Gray failures). --masters attaches the
+# decision ledger so the matrix reports whether mastership
+# re-converged after the fault. Leaves chaos_gray_seed*.csv timelines
+# for CI to upload.
+chaos-gray:
+	for seed in 0 1; do \
+		python -m repro chaos \
+			--systems dynamast,single-master,multi-master,partition-store,leap \
+			--scenarios fail_slow_master,degraded_wan_link,flapping_site,gray_storm \
+			--defenses adaptive --masters --duration 5000 --clients 8 --jobs 2 \
+			--seed $$seed --out chaos_gray_seed$$seed.csv || exit 1; \
+	done
+	python -m repro chaos --system dynamast --scenario fail_slow_master \
+		--defenses fixed --duration 5000 --clients 8
+	python -m repro chaos --system dynamast --scenario fail_slow_master \
+		--defenses adaptive --masters --duration 5000 --clients 8
 
 # Tiny observed run asserting the attribution invariant: the budget
 # categories must sum to ~100% of measured commit latency (DESIGN.md

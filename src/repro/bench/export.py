@@ -39,6 +39,10 @@ FIELDS = (
     "updates_remastered",
     "remaster_operations",
     "partitions_moved",
+    "suspicion_episodes",
+    "false_suspicions",
+    "hedges_launched",
+    "hedge_wins",
 )
 
 
@@ -70,6 +74,11 @@ def run_to_row(result: RunResult) -> Dict[str, object]:
         "updates_remastered": metrics.selector_counters.get("updates_remastered", 0),
         "remaster_operations": metrics.selector_counters.get("remaster_operations", 0),
         "partitions_moved": metrics.selector_counters.get("partitions_moved", 0),
+        # Failure-detector counters (0 for unfaulted runs).
+        "suspicion_episodes": metrics.detector_counters.get("suspicion_episodes", 0),
+        "false_suspicions": metrics.detector_counters.get("false_suspicions", 0),
+        "hedges_launched": metrics.detector_counters.get("hedges_launched", 0),
+        "hedge_wins": metrics.detector_counters.get("hedge_wins", 0),
     }
 
 

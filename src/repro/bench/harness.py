@@ -207,6 +207,8 @@ def run_benchmark(
             "remaster_operations": selector.remaster_operations,
             "partitions_moved": selector.partitions_moved,
         }
+    if injector is not None:
+        metrics.detector_counters = injector.detector_counters()
     return RunResult(
         system_name=system_name,
         workload_name=workload.name,

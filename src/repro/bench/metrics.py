@@ -98,6 +98,11 @@ class Metrics:
         #: visible even in unobserved runs; empty for selector-less
         #: systems.
         self.selector_counters: Dict[str, int] = {}
+        #: Failure-detector / hedging counters folded in by the harness
+        #: for fault-injected runs (suspicion_episodes /
+        #: false_suspicions / suspected_sites / hedges_launched /
+        #: hedge_wins); empty without an installed injector.
+        self.detector_counters: Dict[str, int] = {}
 
     def record(
         self,
@@ -236,6 +241,18 @@ class Metrics:
             if name in self.selector_counters:
                 counter(f"repro_selector_{name}_total",
                         [({}, self.selector_counters[name])])
+        for name in ("suspicion_episodes", "false_suspicions",
+                     "hedges_launched", "hedge_wins"):
+            if name in self.detector_counters:
+                counter(f"repro_detector_{name}_total",
+                        [({}, self.detector_counters[name])])
+        if "suspected_sites" in self.detector_counters:
+            lines.append("# TYPE repro_detector_suspected_sites gauge")
+            merged = _merge_labels(labels, {})
+            lines.append(
+                f"repro_detector_suspected_sites{_format_labels(merged)} "
+                f"{_format_value(self.detector_counters['suspected_sites'])}"
+            )
         if self.aborts:
             counter("repro_aborts_total", [
                 ({"txn_type": txn_type}, count)

@@ -87,6 +87,18 @@ def print_run_report(result) -> None:
         activity.append(
             ["partitions moved", f"{counters['partitions_moved']:,}"]
         )
+    if metrics.detector_counters:
+        detector = metrics.detector_counters
+        labels = {
+            "suspicion_episodes": "suspicion episodes",
+            "false_suspicions": "false suspicions",
+            "suspected_sites": "suspected sites (at end)",
+            "hedges_launched": "hedged reads launched",
+            "hedge_wins": "hedged reads won",
+        }
+        for key, label in labels.items():
+            if key in detector:
+                activity.append([label, f"{detector[key]:,}"])
     for txn_type, count in sorted(result.aborts_by_type.items()):
         activity.append([f"aborts ({txn_type})", f"{count:,}"])
     for reason, count in sorted(result.aborts_by_reason.items()):

@@ -432,10 +432,12 @@ def cmd_chaos(args) -> int:
         seed=args.seed,
         obs=obs,
         ledger=ledger,
+        defenses=args.defenses,
     )
     print_table(
         f"chaos: {args.system} under {args.scenario} "
-        f"({args.sites} sites, {args.duration:g} ms)",
+        f"({args.sites} sites, {args.duration:g} ms, "
+        f"defenses={args.defenses})",
         ["bucket ms", "commit/s", "abort/s", "sites up"],
         [
             [f"{bucket.start_ms:g}", bucket.commits_per_s,
@@ -448,9 +450,15 @@ def cmd_chaos(args) -> int:
         ["steady commit/s", f"{report.steady_rate():,.0f}"],
         ["min commit/s", f"{report.min_rate():,.0f}"],
         ["final commit/s", f"{report.final_rate():,.0f}"],
+        ["p99 commit ms", f"{report.result.metrics.latency().p99:,.2f}"],
     ]
     for reason, count in sorted(report.aborts_by_reason.items()):
         summary.append([f"aborts ({reason})", f"{count:,}"])
+    detector = report.result.metrics.detector_counters if report.result else {}
+    for key in ("suspicion_episodes", "false_suspicions",
+                "hedges_launched", "hedge_wins"):
+        if detector.get(key):
+            summary.append([key.replace("_", " "), f"{detector[key]:,}"])
     for at_ms, kind, site in report.fault_events:
         summary.append([f"{kind} site{site}", f"at {at_ms:g} ms"])
     print_table("chaos summary", ["metric", "value"], summary)
@@ -514,13 +522,14 @@ def _chaos_matrix(args, systems, scenarios) -> int:
             bucket_ms=args.bucket,
             seed=args.seed,
             mastery=args.masters,
+            defenses=args.defenses,
         )
     except (SpecExecutionError, ValueError) as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
         return 2
     rows = []
     headers = ["system", "scenario", "commits", "aborts", "steady/s",
-               "min/s", "final/s", "recovered"]
+               "min/s", "final/s", "p99 ms", "recovered"]
     if args.masters:
         headers += ["locality", "converged"]
     for (system, scenario), report in reports.items():
@@ -529,6 +538,7 @@ def _chaos_matrix(args, systems, scenarios) -> int:
             system, scenario, report.commits, aborts,
             f"{report.steady_rate():,.0f}", f"{report.min_rate():,.0f}",
             f"{report.final_rate():,.0f}",
+            f"{report.result.metrics.latency().p99:,.2f}",
             "yes" if report.recovered() else "NO",
         ]
         if args.masters:
@@ -715,6 +725,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--masters", action="store_true",
                        help="attach the decision ledger and report mastering "
                             "re-convergence after each fault transition")
+    from repro.faults.chaos import DEFENSES
+
+    chaos.add_argument("--defenses", choices=DEFENSES, default="fixed",
+                       help="gray-failure defense preset: 'fixed' (classic "
+                            "strike detector, fixed timeout) or 'adaptive' "
+                            "(phi-accrual detection, adaptive deadlines, "
+                            "hedged reads, health-aware remastering)")
     chaos.set_defaults(fn=cmd_chaos)
 
     from repro.bench.perf import DEFAULT_REPORT, DEFAULT_TOLERANCE

@@ -398,9 +398,11 @@ class SiteSelector:
         mid-round scatters groups across fallback grant targets, so a
         single pass is not enough), excludes crashed and suspected
         sites from the strategy's candidates, and moves every foreign
-        group sequentially. Bounded by the number of sites: divergence
-        requires a fresh crash, and each site crashes at most once per
-        plan.
+        group sequentially. Bounded by one round per site plus one:
+        a plan may now crash a site repeatedly (non-overlapping
+        windows), so rather than relying on fresh-crash counting the
+        loop simply gives up past the bound and aborts the transaction
+        cleanly with ``remastering did not converge``.
         """
         faults = self.cluster.faults
         min_vv = VersionVector.zeros(self.cluster.num_sites)
@@ -413,7 +415,7 @@ class SiteSelector:
                 only = next(iter(masters))
                 if self._healthy(only):
                     return only, min_vv, moved, operations
-            decision, excluded = self._choose_destination_faulted(
+            decision, excluded, health = self._choose_destination_faulted(
                 partitions, session
             )
             destination = decision.site
@@ -429,6 +431,7 @@ class SiteSelector:
                 decision_seq = self.ledger.decision(
                     self.env.now, txn, partitions, decision,
                     self.strategy.weights, moves, excluded=excluded,
+                    health=health,
                 )
             for source, group in moves:
                 target, grant_vv = yield from self._move_faulted(
@@ -455,10 +458,19 @@ class SiteSelector:
     ):
         """Strategy choice restricted to live (and ideally unsuspected) sites.
 
-        Returns ``(decision, excluded)`` — the full
-        :class:`~repro.core.strategy.StrategyDecision` plus the
-        candidate sites failure handling removed, both recorded by the
-        decision ledger when one is attached.
+        Returns ``(decision, excluded, health)`` — the full
+        :class:`~repro.core.strategy.StrategyDecision`, the candidate
+        sites failure handling removed, and the per-site health
+        evidence the decision saw (empty when health-aware remastering
+        is off), all recorded by the decision ledger when one is
+        attached.
+
+        Health-aware remastering: with a nonzero ``weights.health``,
+        the detector's graded health scores enter the benefit as a
+        soft penalty — a degrading-but-unsuspected site loses the
+        decision to a clean site unless its locality/balance advantage
+        outweighs the sickness. Exclusion stays the hard backstop for
+        dead and fully-suspected sites.
         """
         faults = self.cluster.faults
         sites = self.cluster.sites
@@ -473,10 +485,18 @@ class SiteSelector:
             exclude = dead
         site_vvs = [site.svv for site in sites]
         session_vv = session.cvv if session is not None else None
+        health: Tuple[float, ...] = ()
+        if self.strategy.weights.health:
+            detector = faults.detector
+            health = tuple(
+                detector.health(index) if sites[index].alive else 0.0
+                for index in range(self.cluster.num_sites)
+            )
         decision = self.strategy.decide(
-            partitions, site_vvs, session_vv, exclude=exclude
+            partitions, site_vvs, session_vv, exclude=exclude,
+            health=health or None,
         )
-        return decision, exclude
+        return decision, exclude, health
 
     def _move_faulted(
         self,

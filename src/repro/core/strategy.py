@@ -37,12 +37,20 @@ from repro.versioning.vectors import VersionVector
 
 @dataclass
 class StrategyWeights:
-    """The four hyperparameters of Equation 8 (Appendix H)."""
+    """The four hyperparameters of Equation 8 (Appendix H), plus one
+    extension: ``health`` weights a soft penalty for remastering onto
+    degraded sites (gray-failure defense, not in the paper; zero —
+    the default — reproduces Equation 8 exactly)."""
 
     balance: float = 1.0
     delay: float = 0.5
     intra_txn: float = 1.0
     inter_txn: float = 0.0
+    #: Weight on ``1 - health(candidate)`` — the detector's graded
+    #: unhealthiness — subtracted from the benefit. Large values steer
+    #: mastership away from sick-but-alive sites before suspicion
+    #: trips; 0.0 disables the feature (and its computation) entirely.
+    health: float = 0.0
 
     @classmethod
     def for_ycsb(cls) -> "StrategyWeights":
@@ -84,6 +92,7 @@ class StrategyWeights:
             "delay": self.delay,
             "intra_txn": self.intra_txn,
             "inter_txn": self.inter_txn,
+            "health": self.health,
         }
         for name, factor in factors.items():
             if name not in values:
@@ -102,6 +111,10 @@ class SiteScore:
     intra_txn: float
     inter_txn: float
     benefit: float
+    #: Unhealthiness ``1 - health(site)`` at decision time; enters the
+    #: benefit as ``- weights.health * health_penalty``. Stays 0.0
+    #: when no health evidence was supplied (the unfaulted path).
+    health_penalty: float = 0.0
 
 
 @dataclass(slots=True)
@@ -244,8 +257,16 @@ class RemasterStrategy:
         source_vvs: Sequence[VersionVector],
         candidate_vv: VersionVector,
         session_vv: Optional[VersionVector],
+        health: Optional[float] = None,
     ) -> SiteScore:
-        """Compute all features and the Equation-8 benefit for one site."""
+        """Compute all features and the Equation-8 benefit for one site.
+
+        ``health`` is the detector's graded confidence (1 = healthy)
+        for the candidate, or None outside failure handling. The
+        health term is only folded in when both the weight and the
+        penalty are nonzero, so runs without health evidence (or with
+        ``weights.health == 0``) compute bit-identical benefits.
+        """
         weights = self.weights
         balance = self._balance_feature(write_partitions, candidate, loads)
         delay = self._refresh_delay_feature(
@@ -277,7 +298,12 @@ class RemasterStrategy:
             + weights.intra_txn * intra
             + weights.inter_txn * inter
         )
-        return SiteScore(candidate, balance, delay, intra, inter, benefit)
+        penalty = 0.0
+        if health is not None and weights.health:
+            penalty = 1.0 - health
+            if penalty:
+                benefit -= weights.health * penalty
+        return SiteScore(candidate, balance, delay, intra, inter, benefit, penalty)
 
     def decide(
         self,
@@ -285,12 +311,18 @@ class RemasterStrategy:
         site_vvs: Sequence[VersionVector],
         session_vv: Optional[VersionVector] = None,
         exclude: Optional[set] = None,
+        health: Optional[Sequence[float]] = None,
     ) -> StrategyDecision:
         """Score every candidate and pick the destination site.
 
         ``site_vvs`` holds the current version vector of every site
         (index-aligned). ``exclude`` removes candidates (crashed or
-        suspected sites during failure handling).
+        suspected sites during failure handling). ``health``, when
+        given, is an index-aligned vector of graded detector health
+        scores in [0, 1]; with a nonzero ``weights.health`` the
+        benefit pays a soft penalty for unhealthy candidates, steering
+        mastership away from degrading sites that exclusion (a binary
+        verdict) would still admit.
 
         Tie-breaking contract (deterministic, in this order):
 
@@ -336,6 +368,7 @@ class RemasterStrategy:
                     source_vvs,
                     site_vvs[candidate],
                     session_vv,
+                    health=None if health is None else health[candidate],
                 )
             )
         top = max(score.benefit for score in scores)
@@ -376,7 +409,8 @@ class RemasterStrategy:
         site_vvs: Sequence[VersionVector],
         session_vv: Optional[VersionVector] = None,
         exclude: Optional[set] = None,
+        health: Optional[Sequence[float]] = None,
     ) -> Tuple[int, List[SiteScore]]:
         """Legacy wrapper: the winning site and all candidate scores."""
-        decision = self.decide(write_partitions, site_vvs, session_vv, exclude)
+        decision = self.decide(write_partitions, site_vvs, session_vv, exclude, health)
         return decision.site, decision.scores

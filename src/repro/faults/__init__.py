@@ -1,19 +1,23 @@
-"""Deterministic fault injection (crashes, partitions, loss) and the
-failure-handling vocabulary the protocol stack shares.
+"""Deterministic fault injection (crashes, partitions, loss, gray
+failures) and the failure-handling vocabulary the protocol stack
+shares.
 
 The package is inert unless a :class:`FaultInjector` is installed on a
 cluster: every hook in the simulator is gated on ``faults is None``, so
 runs without a plan are bit-identical to the pre-fault codebase.
 
 The fault model — crash/restart semantics, the hardened RPC layer
-(timeouts, seeded-jitter retries, suspicion), presumed-abort 2PC
-termination, and the abort taxonomy — is specified in DESIGN.md §7;
-the bit-identity gate is pinned by the fingerprint tests in
-``tests/test_faults_injection.py`` (see also DESIGN.md §8 on what
-substrate optimizations must preserve).
+(timeouts, seeded-jitter retries, suspicion), gray failures (fail-slow
+sites, degraded links) and their adaptive defenses (phi-accrual
+detection, adaptive deadlines, hedged reads, health-aware
+remastering), presumed-abort 2PC termination, and the abort taxonomy —
+is specified in DESIGN.md §7; the bit-identity gate is pinned by the
+fingerprint tests in ``tests/test_faults_injection.py`` (see also
+DESIGN.md §8 on what substrate optimizations must preserve).
 """
 
-from repro.faults.detector import FailureDetector
+from repro.faults.deadlines import DeadlineTracker
+from repro.faults.detector import AdaptiveDetector, FailureDetector
 from repro.faults.errors import (
     REASON_CONFLICT,
     REASON_SITE_CRASH,
@@ -26,15 +30,21 @@ from repro.faults.errors import (
 from repro.faults.injector import FaultEvent, FaultInjector
 from repro.faults.plan import (
     FRONTEND,
+    GRAY_SCENARIOS,
     SCENARIOS,
     CrashFault,
     FaultPlan,
     LinkFault,
+    SlowFault,
     build_scenario,
+    degrade_site,
+    flapping_site,
     partition_site,
 )
 
 __all__ = [
+    "AdaptiveDetector",
+    "DeadlineTracker",
     "FailureDetector",
     "FaultError",
     "FaultEvent",
@@ -42,14 +52,18 @@ __all__ = [
     "FaultPlan",
     "CrashFault",
     "LinkFault",
+    "SlowFault",
     "RpcTimeout",
     "SiteDown",
     "TransactionAborted",
     "FRONTEND",
+    "GRAY_SCENARIOS",
     "SCENARIOS",
     "REASON_CONFLICT",
     "REASON_SITE_CRASH",
     "REASON_TIMEOUT",
     "build_scenario",
+    "degrade_site",
+    "flapping_site",
     "partition_site",
 ]

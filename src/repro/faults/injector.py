@@ -3,19 +3,26 @@
 The injector interprets a :class:`~repro.faults.plan.FaultPlan`:
 
 * it is the ``faults`` hook the network consults for per-link
-  partitions, probabilistic loss, and extra delay (all draws come from
-  the dedicated ``faults`` RNG stream, so an empty plan changes no
-  random state anywhere);
+  partitions, probabilistic loss, and extra delay + jitter (all draws
+  come from the dedicated ``faults`` RNG stream, so an empty plan
+  changes no random state anywhere);
+* it interprets :class:`~repro.faults.plan.SlowFault` windows by
+  installing a service-time multiplier hook on the victim sites' CPU
+  resources (fail-slow: the site answers everything, slowly);
 * it runs one process per :class:`~repro.faults.plan.CrashFault` that
   fail-stops the site at the scheduled time and, optionally, restarts
   it later via live log-replay rejoin;
-* it owns the shared :class:`~repro.faults.detector.FailureDetector`
-  the routers use for suspicion, and the ground truth
-  (:meth:`is_crashed`) that gates the destructive failover path —
-  standing in for the durable-log service fencing a dead producer.
+* it owns the shared failure detector the routers use for suspicion
+  (fixed-strike or phi-accrual, per ``RpcConfig.detector_policy``),
+  the per-destination :class:`~repro.faults.deadlines.DeadlineTracker`
+  behind adaptive RPC deadlines and hedged-read delays, and the
+  ground truth (:meth:`is_crashed`) that gates the destructive
+  failover path — standing in for the durable-log service fencing a
+  dead producer.
 
 Every fault transition is recorded in :attr:`events` for reports and
-tests.
+tests, and the detector/hedging counters are folded into ``Metrics``
+by the bench harness.
 """
 
 from __future__ import annotations
@@ -23,8 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
-from repro.faults.detector import FailureDetector
-from repro.faults.plan import FaultPlan, LinkFault
+from repro.faults.deadlines import DeadlineTracker
+from repro.faults.detector import AdaptiveDetector, FailureDetector
+from repro.faults.plan import FaultPlan, LinkFault, SlowFault
 from repro.replication.recovery import rejoin_site
 
 
@@ -46,14 +54,46 @@ class FaultInjector:
         self.plan = plan
         self.rng = rng
         self.rpc = cluster.config.rpc
-        self.detector = FailureDetector(self.rpc.suspicion_threshold)
+        if self.rpc.detector_policy == "adaptive":
+            self.detector = AdaptiveDetector(
+                clock=lambda: cluster.env.now,
+                phi_threshold=self.rpc.phi_threshold,
+                threshold=self.rpc.suspicion_threshold,
+                ground_truth=self.site_faulted,
+                quarantine_ms=self.rpc.suspicion_quarantine_ms,
+            )
+        elif self.rpc.detector_policy == "threshold":
+            self.detector = FailureDetector(
+                self.rpc.suspicion_threshold,
+                ground_truth=self.site_faulted,
+                clock=lambda: cluster.env.now,
+            )
+        else:
+            raise ValueError(
+                f"unknown detector policy {self.rpc.detector_policy!r}; "
+                "expected 'adaptive' or 'threshold'"
+            )
+        self.deadlines = DeadlineTracker(
+            timeout_ms=self.rpc.timeout_ms,
+            quantile=self.rpc.deadline_quantile,
+            multiplier=self.rpc.deadline_multiplier,
+            min_samples=self.rpc.deadline_min_samples,
+            floor_ms=self.rpc.deadline_floor_ms,
+            hedge_quantile=self.rpc.hedge_quantile,
+        )
         self.events: List[FaultEvent] = []
+        #: Hedged-read accounting (bumped by the systems' read paths).
+        self.hedges_launched = 0
+        self.hedge_wins = 0
         self._crashed: Set[int] = set()
         #: partition -> master site at load time, for mastership replay.
         self.initial_mastership: Dict[int, int] = {}
         self._links_by_pair: Dict[Tuple[int, int], List[LinkFault]] = {}
         for link in plan.links:
             self._links_by_pair.setdefault((link.src, link.dst), []).append(link)
+        self._slow_by_site: Dict[int, List[SlowFault]] = {}
+        for slow in plan.slowdowns:
+            self._slow_by_site.setdefault(slow.site, []).append(slow)
 
     def install(self) -> None:
         """Hook the cluster and schedule the plan's crash processes.
@@ -67,8 +107,14 @@ class FaultInjector:
         for site in self.cluster.sites:
             for partition in site.mastered:
                 self.initial_mastership[partition] = site.index
+        for index in self._slow_by_site:
+            self._install_slow_hook(index)
         for crash in self.plan.crashes:
             self.cluster.env.process(self._crash_proc(crash))
+
+    def _install_slow_hook(self, index: int) -> None:
+        site = self.cluster.sites[index]
+        site.cpu.slow = lambda index=index: self.cpu_multiplier(index)
 
     # -- ground truth -----------------------------------------------------
 
@@ -81,12 +127,67 @@ class FaultInjector:
         """
         return site in self._crashed
 
+    def site_faulted(self, site: int) -> bool:
+        """Whether ``site`` is under *any* active fault right now —
+        crashed, fail-slow, or with a degraded/cut/lossy link touching
+        it. Used only to classify suspicion episodes as true or false
+        for the detector counters; protocol code never reads it.
+        """
+        if site in self._crashed:
+            return True
+        now = self.cluster.env.now
+        if any(slow.active_at(now) for slow in self._slow_by_site.get(site, ())):
+            return True
+        return any(
+            (link.src == site or link.dst == site) and link.active_at(now)
+            for link in self.plan.links
+        )
+
     @property
     def any_crashed(self) -> bool:
         return bool(self._crashed)
 
     def sites_up(self) -> int:
         return self.cluster.config.num_sites - len(self._crashed)
+
+    # -- fail-slow (consulted by Resource.use via the slow hook) ----------
+
+    def cpu_multiplier(self, site: int) -> float:
+        """Service-time multiplier for ``site`` right now; overlapping
+        slow windows multiply."""
+        now = self.cluster.env.now
+        factor = 1.0
+        for slow in self._slow_by_site.get(site, ()):
+            if slow.active_at(now):
+                factor *= slow.factor
+        return factor
+
+    # -- adaptive deadlines / hedging -------------------------------------
+
+    def observe_rtt(self, dst: int, rtt_ms: float) -> None:
+        """Fold one successful RPC round trip (called by guarded_call)."""
+        self.deadlines.observe(dst, rtt_ms)
+
+    def deadline_ms(self, dst: int) -> float:
+        """Effective RPC deadline for ``dst``: adaptive when enabled
+        and warmed up, the fixed timeout otherwise."""
+        if not self.rpc.adaptive_deadlines:
+            return self.rpc.timeout_ms
+        return self.deadlines.deadline_ms(dst)
+
+    def hedge_delay_ms(self, dst: int) -> float:
+        return self.deadlines.hedge_delay_ms(dst)
+
+    def detector_counters(self) -> Dict[str, int]:
+        """Detector/hedging counters for the run report and exports
+        (mirrors the selector_counters fold in the bench harness)."""
+        return {
+            "suspicion_episodes": self.detector.suspicion_episodes,
+            "false_suspicions": self.detector.false_suspicions,
+            "suspected_sites": len(self.detector.suspected),
+            "hedges_launched": self.hedges_launched,
+            "hedge_wins": self.hedge_wins,
+        }
 
     # -- link state (consulted by Network.leg_lost / leg_delay) -----------
 
@@ -98,12 +199,22 @@ class FaultInjector:
         )
 
     def link_extra_delay(self, src: int, dst: int) -> float:
+        """Injected one-way delay on ``src -> dst`` for one message.
+
+        Active flat delays sum; each active jittery link additionally
+        contributes a fresh uniform draw from ``[0, jitter_ms)`` out of
+        the faults RNG stream — per message, so a degraded WAN link
+        reorders nothing but smears every delivery.
+        """
         now = self.cluster.env.now
-        return sum(
-            link.extra_delay_ms
-            for link in self._links_by_pair.get((src, dst), ())
-            if link.active_at(now)
-        )
+        extra = 0.0
+        for link in self._links_by_pair.get((src, dst), ()):
+            if not link.active_at(now):
+                continue
+            extra += link.extra_delay_ms
+            if link.jitter_ms > 0.0:
+                extra += link.jitter_ms * self.rng.random()
+        return extra
 
     def message_lost(self, src: int, dst: int) -> bool:
         """Loss verdict for one message on ``src -> dst``, drawn now.
@@ -146,5 +257,13 @@ class FaultInjector:
         yield env.timeout(crash.restart_at_ms - crash.at_ms)
         yield from rejoin_site(self.cluster, crash.site, self.initial_mastership)
         self._crashed.discard(crash.site)
+        # Restart hook: the rejoined site is a fresh machine. Drop all
+        # suspicion evidence (strikes *and* phi/interval history — the
+        # stale-suspicion leak) and its learned RTT profile, and
+        # reinstall the fail-slow hook (crash() replaced the CPU
+        # resource, which discarded it).
         self.detector.clear(crash.site)
+        self.deadlines.reset(crash.site)
+        if crash.site in self._slow_by_site:
+            self._install_slow_hook(crash.site)
         self.events.append(FaultEvent(env.now, "restart", crash.site))

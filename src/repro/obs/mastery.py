@@ -11,9 +11,11 @@ mastership evolved. The :class:`DecisionLedger` closes that gap:
 * every remaster decision is recorded with full provenance — the
   triggering transaction, every candidate site's per-feature scores
   (``f_balance``, ``f_refresh_delay``, ``f_intra_txn``,
-  ``f_inter_txn``), the active :class:`~repro.core.strategy.
-  StrategyWeights`, the chosen site, the margin over the runner-up,
-  and the partitions moved;
+  ``f_inter_txn``, and ``f_health`` — the health penalty paid under
+  health-aware remastering), the active :class:`~repro.core.strategy.
+  StrategyWeights`, the per-site health evidence the decision saw,
+  the chosen site, the margin over the runner-up, and the partitions
+  moved;
 * every mastership transfer is an :class:`OwnershipChange`, from which
   :class:`MastershipTimeline` reconstructs per-partition ownership
   intervals;
@@ -80,6 +82,9 @@ class CandidateScore:
     f_intra_txn: float
     f_inter_txn: float
     benefit: float
+    #: Health penalty ``1 - health(site)`` the benefit paid (0.0 for
+    #: decisions made without health evidence — the common case).
+    f_health: float = 0.0
 
     def to_dict(self) -> Dict[str, float]:
         return {
@@ -88,6 +93,7 @@ class CandidateScore:
             "f_refresh_delay": self.f_refresh_delay,
             "f_intra_txn": self.f_intra_txn,
             "f_inter_txn": self.f_inter_txn,
+            "f_health": self.f_health,
             "benefit": self.benefit,
         }
 
@@ -105,8 +111,9 @@ class DecisionRecord:
     #: Every candidate's per-feature scores (index-aligned with the
     #: candidate set, increasing site id).
     scores: Tuple[CandidateScore, ...]
-    #: Active StrategyWeights as (balance, delay, intra_txn, inter_txn).
-    weights: Tuple[float, float, float, float]
+    #: Active StrategyWeights as (balance, delay, intra_txn, inter_txn,
+    #: health).
+    weights: Tuple[float, float, float, float, float]
     chosen: int
     runner_up: Optional[int]
     margin: float
@@ -119,6 +126,9 @@ class DecisionRecord:
     #: Planned moves as (source site, partitions) groups.
     moves: Tuple[Tuple[int, Tuple[int, ...]], ...]
     partitions_moved: int
+    #: Per-site detector health scores the decision saw, index-aligned
+    #: over all sites (empty when health-aware remastering was off).
+    health: Tuple[float, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -134,6 +144,7 @@ class DecisionRecord:
                 "delay": self.weights[1],
                 "intra_txn": self.weights[2],
                 "inter_txn": self.weights[3],
+                "health": self.weights[4],
             },
             "chosen": self.chosen,
             "runner_up": self.runner_up,
@@ -143,6 +154,7 @@ class DecisionRecord:
             "excluded": list(self.excluded),
             "moves": [[source, list(group)] for source, group in self.moves],
             "partitions_moved": self.partitions_moved,
+            "health": list(self.health),
         }
 
 
@@ -218,7 +230,7 @@ class NullLedger:
         pass
 
     def decision(self, now, txn, partitions, decision, weights,
-                 moves, excluded=()) -> Optional[int]:
+                 moves, excluded=(), health=()) -> Optional[int]:
         return None
 
     def ownership(self, now: float, partition: int, source: int,
@@ -271,13 +283,14 @@ class DecisionLedger(NullLedger):
             self.num_sites = site + 1
 
     def decision(self, now, txn, partitions, decision, weights,
-                 moves, excluded=()) -> int:
+                 moves, excluded=(), health=()) -> int:
         """Record one strategy decision; returns its ledger sequence id.
 
         ``decision`` is the :class:`~repro.core.strategy.
         StrategyDecision`; ``moves`` the planned ``(source, partitions)``
         groups; ``excluded`` the candidate sites failure handling
-        removed.
+        removed; ``health`` the per-site detector scores the decision
+        saw (empty when health-aware remastering is off).
         """
         seq = len(self.decisions)
         moves = tuple((source, tuple(group)) for source, group in moves)
@@ -295,11 +308,13 @@ class DecisionLedger(NullLedger):
                     f_intra_txn=score.intra_txn,
                     f_inter_txn=score.inter_txn,
                     benefit=score.benefit,
+                    f_health=score.health_penalty,
                 )
                 for score in decision.scores
             ),
             weights=(weights.balance, weights.delay,
-                     weights.intra_txn, weights.inter_txn),
+                     weights.intra_txn, weights.inter_txn,
+                     weights.health),
             chosen=decision.site,
             runner_up=decision.runner_up,
             margin=decision.margin,
@@ -308,6 +323,7 @@ class DecisionLedger(NullLedger):
             excluded=tuple(sorted(excluded)),
             moves=moves,
             partitions_moved=sum(len(group) for _, group in moves),
+            health=tuple(health),
         ))
         return seq
 
@@ -708,6 +724,9 @@ def recompute_decision(record) -> Tuple[int, bool]:
             - weights["delay"] * score["f_refresh_delay"]
             + weights["intra_txn"] * score["f_intra_txn"]
             + weights["inter_txn"] * score["f_inter_txn"]
+            # Health-aware extension; .get keeps pre-extension exports
+            # (no health key) recomputable.
+            - weights.get("health", 0.0) * score.get("f_health", 0.0)
         )
         if not math.isclose(recomputed, score["benefit"],
                             rel_tol=1e-9, abs_tol=1e-12):
@@ -767,15 +786,24 @@ def render_decision(record) -> str:
     if isinstance(record, DecisionRecord):
         record = record.to_dict()
     weights = record["weights"]
+    health_weight = weights.get("health", 0.0)
+    weight_line = (
+        f"weights: balance={weights['balance']:g} delay={weights['delay']:g} "
+        f"intra={weights['intra_txn']:g} inter={weights['inter_txn']:g}"
+    )
+    if health_weight:
+        weight_line += f" health={health_weight:g}"
     lines = [
         f"decision #{record['seq']} at {record['at_ms']:g} ms — "
         f"txn {record['txn_id']} (client {record['client_id']}) "
         f"wrote partitions {tuple(record['partitions'])}",
-        f"weights: balance={weights['balance']:g} delay={weights['delay']:g} "
-        f"intra={weights['intra_txn']:g} inter={weights['inter_txn']:g}",
+        weight_line,
     ]
     header = (f"  {'site':>4}  {'w*f_balance':>14}  {'-w*f_delay':>12}  "
-              f"{'w*f_intra':>11}  {'w*f_inter':>11}  {'benefit':>14}")
+              f"{'w*f_intra':>11}  {'w*f_inter':>11}")
+    if health_weight:
+        header += f"  {'-w*f_health':>12}"
+    header += f"  {'benefit':>14}"
     lines.append(header)
     for score in record["scores"]:
         mark = ""
@@ -783,14 +811,17 @@ def render_decision(record) -> str:
             mark = "  <- chosen"
         elif score["site"] == record.get("runner_up"):
             mark = "  (runner-up)"
-        lines.append(
+        row = (
             f"  {score['site']:>4}"
             f"  {weights['balance'] * score['f_balance']:>14.6g}"
             f"  {-weights['delay'] * score['f_refresh_delay']:>12.6g}"
             f"  {weights['intra_txn'] * score['f_intra_txn']:>11.6g}"
             f"  {weights['inter_txn'] * score['f_inter_txn']:>11.6g}"
-            f"  {score['benefit']:>14.6g}{mark}"
         )
+        if health_weight:
+            row += f"  {-health_weight * score.get('f_health', 0.0):>12.6g}"
+        row += f"  {score['benefit']:>14.6g}{mark}"
+        lines.append(row)
     tie = record.get("tie_break", "clear")
     if tie == "clear":
         lines.append(f"margin over runner-up: {record['margin']:.6g}")
@@ -801,6 +832,11 @@ def render_decision(record) -> str:
         )
     if record.get("excluded"):
         lines.append(f"excluded (crashed/suspected): {tuple(record['excluded'])}")
+    if record.get("health"):
+        lines.append("site health: " + " ".join(
+            f"site{index}={value:.3g}"
+            for index, value in enumerate(record["health"])
+        ))
     moves = ", ".join(
         f"site{source}->{{{', '.join(str(p) for p in group)}}}"
         for source, group in record["moves"]

@@ -120,6 +120,36 @@ class RpcConfig:
     backoff_cap_ms: float = 16.0
     #: Consecutive timeouts before a site is suspected dead.
     suspicion_threshold: int = 2
+    #: Failure-detector policy: "adaptive" (phi-accrual over per-site
+    #: inter-success intervals; see repro.faults.detector) or
+    #: "threshold" (the classic fixed-strike detector, kept as a
+    #: selectable baseline — chaos --defenses fixed uses it).
+    detector_policy: str = "adaptive"
+    #: Phi level at which the adaptive detector suspects a site.
+    phi_threshold: float = 8.0
+    #: Suspicion hysteresis of the adaptive detector: once tripped,
+    #: suspicion latches for this long (extended by fresh timeout
+    #: evidence) so a fail-slow site that keeps slowly succeeding is
+    #: actually drained rather than flickering in and out of routing.
+    suspicion_quarantine_ms: float = 250.0
+    #: When True, guarded RPCs use per-destination deadlines derived
+    #: from observed RTT quantiles (clamped to [deadline_floor_ms,
+    #: timeout_ms]) instead of the fixed timeout — a fail-slow site is
+    #: then noticed in milliseconds rather than at the full timeout.
+    adaptive_deadlines: bool = False
+    #: RTT quantile and headroom multiplier for the adaptive deadline.
+    deadline_quantile: float = 0.99
+    deadline_multiplier: float = 3.0
+    #: RTT samples per destination before adapting (cold-start guard).
+    deadline_min_samples: int = 20
+    #: Never tighten a deadline below this.
+    deadline_floor_ms: float = 5.0
+    #: When True, reads launch a backup request to another replica
+    #: after the hedge-quantile RTT has elapsed without a response;
+    #: first response wins, the loser is absorbed.
+    hedged_reads: bool = False
+    #: RTT quantile after which a read hedges.
+    hedge_quantile: float = 0.95
 
 
 @dataclass

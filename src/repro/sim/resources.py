@@ -48,6 +48,11 @@ class Resource:
         #: Total busy time accumulated across all slots (for utilization).
         self.busy_time = 0.0
         self._last_change = env.now
+        #: Fail-slow hook: when set (by the fault injector), a callable
+        #: returning the current service-time multiplier; applied at
+        #: grant time in :meth:`use`. ``None`` — the unfaulted case —
+        #: costs one attribute check and keeps runs bit-identical.
+        self.slow = None
 
     @property
     def in_use(self) -> int:
@@ -100,7 +105,14 @@ class Resource:
         (plus a causal edge carrying the queue depth). The bookkeeping
         is pure recording — no extra events — so untraced runs are
         bit-identical.
+
+        A fail-slow fault (:attr:`slow`) stretches the service time by
+        the multiplier active when the slot is requested — modeling a
+        sick machine where every operation takes longer, not one where
+        new work is refused.
         """
+        if self.slow is not None:
+            duration = duration * self.slow()
         request = self.request()
         if txn is not None and not request.triggered:
             tracer = self.env.obs.tracer

@@ -156,7 +156,11 @@ def guarded_call(
         return result
     env = network.env
     dst = site.index
-    budget = timeout_ms if timeout_ms is not None else faults.rpc.timeout_ms
+    # Explicit per-call budgets (remastering's longer leash) win;
+    # otherwise the injector supplies the deadline — the fixed timeout,
+    # or a per-destination quantile-tracked one when adaptive deadlines
+    # are on (how a fail-slow site gets noticed in milliseconds).
+    budget = timeout_ms if timeout_ms is not None else faults.deadline_ms(dst)
     started = env.now
     tracer = env.obs.tracer
     traced = tracer.enabled and txn is not None
@@ -224,6 +228,9 @@ def guarded_call(
             raise exc
         yield env.timeout(network.leg_delay(dst, src, response_size))
         faults.detector.report_success(dst)
+        # Passive RTT observation feeding the adaptive deadline /
+        # hedge-delay quantiles (recording only — no events, no draws).
+        faults.observe_rtt(dst, env.now - started)
         if traced:
             _edge("ok")
         return box.result

@@ -89,18 +89,22 @@ class DynaMast(System):
         yield from self.client_hop(txn)  # client -> site selector
 
         if txn.is_read_only:
+            hedged = faults.rpc.hedged_reads
             for attempt in range(policy.attempts):
                 site_index = yield from self.selector.route_read(txn, session)
                 yield from self.client_hop(txn)  # selector -> client
                 site = self.sites[site_index]
                 try:
-                    begin = yield from guarded_call(
-                        self.network,
-                        site,
-                        site.execute_read(txn, min_begin=session.cvv),
-                        category="client",
-                        txn=txn,
-                    )
+                    if hedged:
+                        begin = yield from self._hedged_read(txn, session, site)
+                    else:
+                        begin = yield from guarded_call(
+                            self.network,
+                            site,
+                            site.execute_read(txn, min_begin=session.cvv),
+                            category="client",
+                            txn=txn,
+                        )
                 except FaultError as exc:
                     if attempt + 1 >= policy.attempts:
                         return Outcome(
@@ -158,3 +162,110 @@ class DynaMast(System):
             session.observe(tvv)
             return Outcome(committed=True, remastered=remastered, retries=attempt)
         raise AssertionError("unreachable: retry loop always returns")
+
+    # -- hedged reads (gray-failure defense) -------------------------------
+
+    def _absorbed_read(self, site, txn: Transaction, session: Session, box):
+        """Drive one guarded read, parking its outcome in ``box``.
+
+        The wrapping process always succeeds, so a racer nobody awaits
+        anymore (the other replica answered first) cannot surface an
+        unhandled simulation error.
+        """
+        try:
+            box.result = yield from guarded_call(
+                self.network,
+                site,
+                site.execute_read(txn, min_begin=session.cvv),
+                category="client",
+                txn=txn,
+            )
+        except FaultError as exc:
+            box.exc = exc
+
+    def _backup_replica(self, primary_index: int, session: Session):
+        """The replica a hedged read falls back to: healthiest first.
+
+        Live, unsuspected, not the primary; among those, the most
+        session-fresh (lowest lag behind the client's vector), lowest
+        site id on ties. Deterministic — no RNG draw — so enabling
+        hedging perturbs nothing else.
+        """
+        detector = self.cluster.faults.detector
+        candidates = [
+            site for site in self.sites
+            if site.index != primary_index
+            and site.alive
+            and not detector.is_suspected(site.index)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda site: (site.svv.lag_behind(session.cvv), site.index),
+        )
+
+    def _hedged_read(self, txn: Transaction, session: Session, primary):
+        """First-response-wins read with an adaptively delayed backup.
+
+        The primary read runs as its own process; if it has not
+        resolved within the hedge delay (the primary's hedge-quantile
+        RTT), a backup read is launched at another replica and the two
+        race. The *first successful* response wins — a racer that
+        fails defers to the survivor — and the caller applies exactly
+        one session observation, so effects are never double-applied
+        (reads are side-effect-free at the sites; the loser merely
+        finishes consuming its replica's CPU). Raises the primary's
+        fault when both racers fail.
+        """
+        env = self.env
+        faults = self.cluster.faults
+        primary_box = _HedgeBox()
+        primary_proc = env.process(
+            self._absorbed_read(primary, txn, session, primary_box)
+        )
+        yield env.any_of([
+            primary_proc, env.timeout(faults.hedge_delay_ms(primary.index)),
+        ])
+        if not primary_proc.triggered:
+            backup = self._backup_replica(primary.index, session)
+            if backup is not None:
+                faults.hedges_launched += 1
+                backup_box = _HedgeBox()
+                backup_proc = env.process(
+                    self._absorbed_read(backup, txn, session, backup_box)
+                )
+                while True:
+                    if primary_proc.triggered and primary_box.exc is None:
+                        return primary_box.result
+                    if backup_proc.triggered and backup_box.exc is None:
+                        faults.hedge_wins += 1
+                        if not primary_proc.triggered:
+                            # The backup answered while the primary was
+                            # still silent past its hedge delay: latency
+                            # evidence against the primary, fed to the
+                            # detector so a fail-slow site accrues
+                            # suspicion even though its RPCs eventually
+                            # succeed within the hard deadline.
+                            faults.detector.report_timeout(primary.index)
+                        return backup_box.result
+                    if primary_proc.triggered and backup_proc.triggered:
+                        raise primary_box.exc
+                    yield env.any_of([
+                        proc for proc in (primary_proc, backup_proc)
+                        if not proc.triggered
+                    ])
+        yield primary_proc
+        if primary_box.exc is not None:
+            raise primary_box.exc
+        return primary_box.result
+
+
+class _HedgeBox:
+    """Out-of-band result slot for one hedged-read racer."""
+
+    __slots__ = ("result", "exc")
+
+    def __init__(self):
+        self.result = None
+        self.exc = None

@@ -175,6 +175,33 @@ class TestChaosCommand:
         with pytest.raises(SystemExit):
             main(["chaos", "--scenario", "bogus"])
 
+    def test_chaos_gray_scenario_with_adaptive_defenses(self, capsys):
+        code = main([
+            "chaos", "--system", "dynamast", "--scenario", "fail_slow_master",
+            "--duration", "2400", "--bucket", "300", "--clients", "4",
+            "--defenses", "adaptive", "--masters",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "chaos: dynamast under fail_slow_master" in output
+        assert "defenses=adaptive" in output
+        assert "hedges launched" in output
+        assert "mastering (decision ledger)" in output
+
+    def test_chaos_gray_scenario_with_explain(self, capsys):
+        code = main([
+            "chaos", "--system", "dynamast", "--scenario", "degraded_wan_link",
+            "--duration", "900", "--bucket", "300", "--clients", "4",
+            "--explain",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "chaos: dynamast under degraded_wan_link" in output
+
+    def test_chaos_rejects_unknown_defenses(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--defenses", "hopeful"])
+
     def test_chaos_explain_attributes_the_dip(self, capsys):
         code = main([
             "chaos", "--system", "dynamast", "--scenario", "crash-restart",

@@ -174,7 +174,7 @@ class TestDeterminismGuard:
         scanned set."""
         scanned = {str(path.relative_to(SRC)) for path in repro_sources()}
         for module in ("plan.py", "injector.py", "detector.py",
-                       "errors.py", "chaos.py"):
+                       "deadlines.py", "errors.py", "chaos.py"):
             assert f"faults/{module}" in scanned, (
                 f"faults/{module} escaped the determinism guard"
             )

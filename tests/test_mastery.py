@@ -65,7 +65,8 @@ class TestLedgerRecording:
         assert ledger.decisions
         weights = result.system.selector.strategy.weights
         expected_weights = (weights.balance, weights.delay,
-                            weights.intra_txn, weights.inter_txn)
+                            weights.intra_txn, weights.inter_txn,
+                            weights.health)
         for record in ledger.decisions:
             assert record.seq == ledger.decisions.index(record) or True
             assert record.partitions  # the triggering write set
