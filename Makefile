@@ -1,6 +1,6 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test lint bench examples quick chaos chaos-gray explain-smoke masters-smoke perf perf-check clean
+.PHONY: install test lint bench examples quick chaos chaos-gray explain-smoke masters-smoke perf perf-check scale scale-smoke clean
 
 # Worker processes for parallel-capable targets (perf, test with
 # pytest-xdist installed). 1 = classic serial behavior.
@@ -108,6 +108,19 @@ perf:
 # calibration-normalizing for host speed.
 perf-check:
 	python -m repro perf --check --quick
+
+# Full open-loop saturation matrix; refreshes BENCH_scale.json with
+# every system's knee ladder plus the flagship 16-site / 100k-client /
+# 1M-key diurnal case (docs/SCALE.md).
+scale:
+	python -m repro perf --scale --jobs $(JOBS)
+
+# Capacity-determinism gate against the committed BENCH_scale.json:
+# the five cheap per-system ladders at --jobs 2 must fingerprint
+# bit-identically to the committed report (simulated results are
+# machine-independent) and each rung must fit its peak-RSS budget.
+scale-smoke:
+	python -m repro perf --scale --smoke --check --jobs 2
 
 clean:
 	rm -rf .pytest_cache build *.egg-info src/*.egg-info

@@ -1,11 +1,16 @@
-"""Benchmark harness: closed-loop clients, metrics, experiment drivers.
+"""Benchmark harness: clients, metrics, experiment drivers.
 
 :func:`~repro.bench.harness.run_benchmark` assembles a cluster, a
 system, and a workload, drives ``num_clients`` closed-loop clients for
 a simulated duration, and returns a :class:`~repro.bench.harness.RunResult`
 with throughput, per-transaction-type latency distributions, the
 latency breakdown of Figure 7, remastering/2PC/shipping counts, and
-network traffic by category.
+network traffic by category. Passing an
+:class:`~repro.workloads.openloop.OpenLoopSpec` switches the run to
+open-loop traffic — rate-curve arrivals through per-site admission
+queues, with 100k+ modeled clients aggregated into one pool — and
+:mod:`repro.bench.scale` pins saturation-knee cases at that scale
+(``repro perf --scale``).
 
 Every table and figure of the paper's evaluation has a driver in
 :mod:`repro.bench.experiments`, exercised by the ``benchmarks/`` tree.
@@ -22,6 +27,7 @@ from repro.bench.parallel import (
     run_fingerprint,
 )
 from repro.bench.repeat import Estimate, RepeatedResult, run_repeated
+from repro.bench.scale import SCALE_MATRIX, ScaleCase, find_knee
 from repro.bench.metrics import LatencySummary, Metrics
 from repro.bench.report import format_row, print_run_report, print_table
 
@@ -34,7 +40,10 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "RunSummary",
+    "SCALE_MATRIX",
+    "ScaleCase",
     "SpecExecutionError",
+    "find_knee",
     "WorkloadSpec",
     "execute_specs",
     "run_fingerprint",

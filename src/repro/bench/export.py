@@ -103,6 +103,36 @@ def attach_attribution(row: Dict[str, object], result: RunResult) -> None:
         row[f"attrib_{category}_share"] = round(share, 5)
 
 
+def attach_open_loop(row: Dict[str, object], result: RunResult) -> None:
+    """Add ``openloop_*`` columns for an open-loop run.
+
+    No-op for closed-loop runs, preserving their exact export schema.
+    Open-loop rows gain the capacity-planning columns: recorded offered
+    rate, goodput ratio (commits / recorded arrivals — the saturation
+    signal), shed arrivals, admission-wait p50/p99, and queue depths.
+    """
+    metrics = result.metrics
+    counters = getattr(metrics, "open_loop_counters", None)
+    if not counters:
+        return
+    from repro.workloads.openloop import goodput_ratio
+
+    window = result.duration_ms - result.warmup_ms
+    wait = metrics.admission_wait()
+    ratio = goodput_ratio(counters, metrics.commits)
+    row["openloop_offered_tps"] = round(
+        counters["offered_recorded"] / window * 1000.0, 2
+    ) if window > 0 else 0.0
+    row["openloop_goodput_ratio"] = round(ratio, 5) if ratio is not None else ""
+    row["openloop_shed"] = int(counters.get("shed", 0))
+    row["openloop_queued_end"] = int(counters.get("queued_end", 0))
+    row["openloop_peak_depth"] = int(counters.get("peak_depth", 0))
+    row["openloop_mean_depth"] = round(counters.get("mean_depth", 0.0), 4)
+    row["openloop_wait_p50_ms"] = round(wait.p50, 4)
+    row["openloop_wait_p99_ms"] = round(wait.p99, 4)
+    row["openloop_modeled_clients"] = int(counters.get("modeled_clients", 0))
+
+
 def attach_mastery(row: Dict[str, object], result: RunResult) -> None:
     """Add ``mastery_<metric>`` columns for a ledger-observed run.
 
@@ -128,6 +158,7 @@ def rows_from(results) -> List[Dict[str, object]]:
     if isinstance(results, (RunResult, RunSummary)):
         row = run_to_row(results)
         attach_attribution(row, results)
+        attach_open_loop(row, results)
         attach_mastery(row, results)
         return [row]
     if isinstance(results, Mapping):
@@ -157,6 +188,9 @@ def to_csv(results) -> str:
         key for row in rows for key in row if key.startswith("attrib_")
     })
     fields += attrib
+    fields += sorted({
+        key for row in rows for key in row if key.startswith("openloop_")
+    })
     fields += sorted({
         key for row in rows for key in row if key.startswith("mastery_")
     })

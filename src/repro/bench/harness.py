@@ -71,6 +71,11 @@ class RunResult:
     ledger: Optional[object] = field(repr=False, default=None)
     #: The live system object, for deeper inspection in tests/benches.
     system: Optional[System] = field(repr=False, default=None)
+    #: Recorded offered arrival rate (arrivals/s over the post-warmup
+    #: window) for open-loop runs; 0.0 for closed-loop runs, where
+    #: offered load is whatever the clients manage (the coordinated-
+    #: omission caveat in docs/SCALE.md).
+    offered_rate: float = 0.0
     #: Host seconds spent inside :func:`run_benchmark` (setup + run).
     #: Host-side only: excluded from fingerprints, varies per machine.
     wall_clock_s: float = 0.0
@@ -115,6 +120,7 @@ def run_benchmark(
     streaming_metrics: bool = False,
     fault_plan=None,
     ledger=None,
+    open_loop=None,
 ) -> RunResult:
     """Run ``workload`` against one system and measure it.
 
@@ -138,6 +144,15 @@ def run_benchmark(
     the system's site selector (ignored for selector-less systems); the
     ledger is passive, so even a ledger-observed run's simulated
     outcome is bit-identical to an unobserved one.
+    ``open_loop`` replaces the closed-loop clients with an
+    :class:`~repro.workloads.openloop.OpenLoopEngine` driven by the
+    given :class:`~repro.workloads.openloop.OpenLoopSpec`: arrivals
+    follow the spec's rate curve (dedicated ``arrivals`` RNG stream),
+    ``num_clients`` is ignored in favour of ``spec.modeled_clients``,
+    and latency is measured from arrival — admission-queue wait
+    included. Closed-loop runs never touch the arrivals stream or the
+    open-loop code paths, so their results are bit-identical to builds
+    without this subsystem.
     """
     if system_name not in ALL_SYSTEMS:
         raise ValueError(f"unknown system {system_name!r}; expected one of {ALL_SYSTEMS}")
@@ -186,12 +201,21 @@ def run_benchmark(
 
     metrics = Metrics(streaming=streaming_metrics)
     observability.observe_cluster(cluster)
-    rng = cluster.streams.stream("workload")
-    for client_id in range(num_clients):
-        cluster.env.process(
-            _client_loop(system, workload, client_id, rng, metrics, warmup_ms,
-                         observability)
-        )
+    engine = None
+    if open_loop is not None:
+        from repro.workloads.openloop import OpenLoopEngine
+
+        engine = OpenLoopEngine(system, workload, open_loop, metrics,
+                                warmup_ms, observability)
+        engine.install(duration_ms)
+        num_clients = open_loop.modeled_clients
+    else:
+        rng = cluster.streams.stream("workload")
+        for client_id in range(num_clients):
+            cluster.env.process(
+                _client_loop(system, workload, client_id, rng, metrics, warmup_ms,
+                             observability)
+            )
     for when, fn in events:
         cluster.env.process(_fire_event(cluster.env, when, fn, system, workload))
 
@@ -209,6 +233,12 @@ def run_benchmark(
         }
     if injector is not None:
         metrics.detector_counters = injector.detector_counters()
+    offered_rate = 0.0
+    if engine is not None:
+        from repro.workloads.openloop import offered_rate_tps
+
+        metrics.open_loop_counters = engine.counters()
+        offered_rate = offered_rate_tps(metrics.open_loop_counters, window)
     return RunResult(
         system_name=system_name,
         workload_name=workload.name,
@@ -230,6 +260,7 @@ def run_benchmark(
         obs=obs,
         ledger=ledger,
         system=system,
+        offered_rate=offered_rate,
         wall_clock_s=wall_clock_s,
         events_processed=cluster.env.events_processed,
     )

@@ -103,6 +103,18 @@ class Metrics:
         #: false_suspicions / suspected_sites / hedges_launched /
         #: hedge_wins); empty without an installed injector.
         self.detector_counters: Dict[str, int] = {}
+        #: Open-loop traffic counters folded in by the harness for
+        #: open-loop runs (offered / offered_recorded / admitted / shed
+        #: / taken / completed / peak_depth / mean_depth ... — see
+        #: :meth:`repro.workloads.openloop.OpenLoopEngine.counters`);
+        #: empty for closed-loop runs, which is what keeps closed-loop
+        #: fingerprints unchanged.
+        self.open_loop_counters: Dict[str, float] = {}
+        #: Admission-queue waits (ms) of recorded open-loop arrivals —
+        #: sample list, or a streaming histogram in streaming mode.
+        self.admission_waits: Union[List[float], StreamingHistogram] = (
+            StreamingHistogram("admission_wait") if streaming else []
+        )
 
     def record(
         self,
@@ -142,7 +154,32 @@ class Metrics:
         other = max(0.0, latency - accounted)
         self.phase_totals["other"] = self.phase_totals.get("other", 0.0) + other
 
+    def record_admission_wait(self, wait_ms: float) -> None:
+        """Account one recorded arrival's time in the admission queue.
+
+        Open-loop latency is measured from arrival, so this wait is a
+        *component* of recorded latency, kept separately because depth
+        and wait are the saturation signals (docs/SCALE.md).
+        """
+        if self.streaming:
+            self.admission_waits.record(wait_ms)
+        else:
+            self.admission_waits.append(wait_ms)
+
     # -- summaries -----------------------------------------------------------
+
+    def admission_wait(self) -> LatencySummary:
+        """Summary of recorded admission-queue waits (open-loop runs)."""
+        if isinstance(self.admission_waits, StreamingHistogram):
+            return LatencySummary.of_histogram(self.admission_waits)
+        return LatencySummary.of(self.admission_waits)
+
+    def admission_wait_total(self) -> float:
+        """Total recorded admission wait (ms) — a stable scalar for
+        fingerprints in exact mode and reports in either mode."""
+        if isinstance(self.admission_waits, StreamingHistogram):
+            return self.admission_waits.total
+        return sum(self.admission_waits)
 
     def latency(self, txn_type: Optional[str] = None) -> LatencySummary:
         """Latency summary for one transaction type, or all combined."""
@@ -252,6 +289,56 @@ class Metrics:
             lines.append(
                 f"repro_detector_suspected_sites{_format_labels(merged)} "
                 f"{_format_value(self.detector_counters['suspected_sites'])}"
+            )
+        if self.open_loop_counters:
+            for name in ("offered", "admitted", "shed", "taken", "completed"):
+                if name in self.open_loop_counters:
+                    counter(f"repro_openloop_{name}_total",
+                            [({}, self.open_loop_counters[name])])
+            for name in ("in_flight", "queued_end", "peak_depth",
+                         "mean_depth", "modeled_clients"):
+                if name in self.open_loop_counters:
+                    lines.append(f"# TYPE repro_openloop_{name} gauge")
+                    merged = _merge_labels(labels, {})
+                    lines.append(
+                        f"repro_openloop_{name}{_format_labels(merged)} "
+                        f"{_format_value(self.open_loop_counters[name])}"
+                    )
+        wait_count = (
+            self.admission_waits.count
+            if isinstance(self.admission_waits, StreamingHistogram)
+            else len(self.admission_waits)
+        )
+        if wait_count:
+            if isinstance(self.admission_waits, StreamingHistogram):
+                waits = self.admission_waits
+            else:
+                waits = StreamingHistogram("admission_wait")
+                for sample in self.admission_waits:
+                    waits.record(sample)
+            lines.append("# TYPE repro_admission_wait_ms histogram")
+            series = _merge_labels(labels, {})
+            cumulative = 0
+            for lower, count in waits.bucket_counts():
+                cumulative += count
+                upper = waits.base if lower == 0.0 else lower * waits.growth
+                bucket = _merge_labels(series, {"le": _format_value(upper)})
+                lines.append(
+                    f"repro_admission_wait_ms_bucket{_format_labels(bucket)} "
+                    f"{cumulative}"
+                )
+            inf_bucket = _merge_labels(series, {"le": "+Inf"})
+            lines.append(
+                f"repro_admission_wait_ms_bucket{_format_labels(inf_bucket)} "
+                f"{waits.count}"
+            )
+            lines.append(
+                f"repro_admission_wait_ms_sum{_format_labels(series)} "
+                f"{_format_value(waits.total)}"
+            )
+            lines.append(
+                f"repro_admission_wait_ms_count{_format_labels(series)} "
+                f"{waits.count}"
             )
         if self.aborts:
             counter("repro_aborts_total", [

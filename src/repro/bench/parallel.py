@@ -54,6 +54,7 @@ from repro.bench.metrics import LatencySummary, Metrics
 from repro.core.strategy import StrategyWeights
 from repro.faults.plan import FaultPlan
 from repro.sim.config import ClusterConfig
+from repro.workloads.openloop import OpenLoopSpec
 
 __all__ = [
     "ParallelExecutor",
@@ -102,6 +103,16 @@ def run_fingerprint(result) -> str:
             for event in result.fault_events
         ],
     }
+    # Open-loop observables join the digest only when present, so every
+    # closed-loop fingerprint pinned before this subsystem existed is
+    # unchanged (getattr: summaries pickled by older builds lack the
+    # attribute entirely).
+    open_loop = getattr(metrics, "open_loop_counters", None)
+    if open_loop:
+        payload["open_loop"] = sorted(
+            (key, round(float(value), 6)) for key, value in open_loop.items()
+        )
+        payload["admission_wait_sum"] = round(metrics.admission_wait_total(), 6)
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()
     ).hexdigest()[:16]
@@ -171,6 +182,11 @@ class RunSpec:
     fault_scenario: Optional[str] = None
     #: Explicit fault schedule; overrides ``fault_scenario``.
     fault_plan: Optional[FaultPlan] = None
+    #: Open-loop traffic description; when set, the worker drives the
+    #: run with an OpenLoopEngine instead of ``num_clients`` closed-loop
+    #: clients (``num_clients`` is then ignored). Pure data like every
+    #: other field — the curve resolves through CURVE_REGISTRY.
+    open_loop: Optional[OpenLoopSpec] = None
     #: Display / bookkeeping label (defaults to system + workload).
     label: Optional[str] = None
 
@@ -229,6 +245,7 @@ def execute_spec(spec: RunSpec):
         streaming_metrics=spec.streaming_metrics,
         fault_plan=plan,
         ledger=ledger,
+        open_loop=spec.open_loop,
     )
 
 
@@ -270,6 +287,8 @@ class RunSummary:
     #: Folded ledger scalars (mastery runs only): locality share,
     #: entropy, churn, convergence — see DecisionLedger.summary().
     mastery: Dict[str, float] = field(default_factory=dict)
+    #: Recorded offered arrival rate (open-loop runs; 0.0 closed-loop).
+    offered_rate: float = 0.0
     #: Canonical digest of the simulated outcome (:func:`run_fingerprint`).
     fingerprint: str = ""
     #: Host seconds the producing process spent inside ``run_benchmark``.
@@ -331,6 +350,7 @@ def summarize(result) -> RunSummary:
         timelines=dict(result.timelines),
         attribution_shares=shares,
         mastery=mastery,
+        offered_rate=getattr(result, "offered_rate", 0.0),
         fingerprint=run_fingerprint(result),
         wall_clock_s=result.wall_clock_s,
         events_processed=result.events_processed,

@@ -199,6 +199,17 @@ def run_matrix(
     records the measured end-to-end speedup: serial-equivalent seconds
     (the sum of in-worker walls, i.e. what ``--jobs 1`` would have
     cost) over elapsed seconds.
+
+    Honesty note on that speedup figure: it measures *this host's*
+    concurrency, not the engine's. The committed ``BENCH_perf.json``
+    is generated at ``--jobs 1`` on a **one-core** host (see
+    ``machine.cpu_count``), so its pinned ``parallel.speedup`` is
+    exactly 1.0 — a statement that no parallelism was attempted, not
+    that none is available. On a one-core host ``jobs > 1`` can only
+    timeshare: serial-equivalent inflates while elapsed barely moves,
+    and the ratio reads as time-sharing overhead (see EXPERIMENTS.md,
+    "Parallel execution", for the measured table and why the baseline
+    is therefore always refreshed serially).
     """
     calibration = calibrate()
     results: Dict[str, Dict] = {}

@@ -104,6 +104,8 @@ def print_run_report(result) -> None:
     for reason, count in sorted(result.aborts_by_reason.items()):
         activity.append([f"aborts [{reason}]", f"{count:,}"])
     print_table("protocol activity", ["metric", "value"], activity)
+    if getattr(metrics, "open_loop_counters", None):
+        print_open_loop(result)
     mastery = getattr(result, "mastery", None)
     ledger = getattr(result, "ledger", None)
     if mastery or (ledger is not None and ledger.enabled):
@@ -119,6 +121,41 @@ def print_run_report(result) -> None:
         )
     if result.obs is not None and result.obs.enabled:
         print_attribution(result)
+
+
+def print_open_loop(result) -> None:
+    """Print the traffic table of an open-loop run.
+
+    The capacity-planning view: offered vs goodput over the recorded
+    window (their ratio is the saturation signal — see docs/SCALE.md),
+    shedding, and admission-queue depth/wait.
+    """
+    from repro.workloads.openloop import goodput_ratio
+
+    metrics = result.metrics
+    counters = metrics.open_loop_counters
+    window = result.duration_ms - result.warmup_ms
+    offered_tps = (
+        counters["offered_recorded"] / window * 1000.0 if window > 0 else 0.0
+    )
+    ratio_value = goodput_ratio(counters, metrics.commits)
+    wait = metrics.admission_wait()
+    rows = [
+        ["modeled clients", f"{int(counters.get('modeled_clients', 0)):,}"],
+        ["offered (recorded)", f"{int(counters['offered_recorded']):,} "
+         f"({offered_tps:,.0f} arrivals/s)"],
+        ["goodput", f"{metrics.commits:,} ({result.throughput:,.0f} txn/s)"],
+        ["goodput / offered",
+         "n/a" if ratio_value is None else f"{ratio_value:.2%}"],
+        ["shed arrivals", f"{int(counters.get('shed', 0)):,}"],
+        ["still queued at end", f"{int(counters.get('queued_end', 0)):,}"],
+        ["queue depth peak / mean",
+         f"{int(counters.get('peak_depth', 0)):,} / "
+         f"{counters.get('mean_depth', 0.0):.2f}"],
+        ["admission wait p50 / p99",
+         f"{wait.p50:,.2f} / {wait.p99:,.2f} ms"],
+    ]
+    print_table("open-loop traffic", ["metric", "value"], rows)
 
 
 def print_mastering(result) -> None:

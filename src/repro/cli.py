@@ -19,7 +19,9 @@ Commands:
   the availability timeline (optionally exporting it as CSV);
   ``--masters`` adds mastering re-convergence after each transition;
 * ``perf`` — run the pinned wall-clock matrix, write ``BENCH_perf.json``,
-  or (``--check``) gate against the committed baseline;
+  or (``--check``) gate against the committed baseline; ``--scale``
+  runs the open-loop saturation matrix instead (``BENCH_scale.json``:
+  per-system saturation knees, exact-fingerprint + RSS-budget gates);
 * ``experiments`` — list the per-figure experiment drivers.
 """
 
@@ -574,6 +576,27 @@ def _chaos_matrix(args, systems, scenarios) -> int:
 def cmd_perf(args) -> int:
     from repro.bench import perf
 
+    if args.scale:
+        from repro.bench import scale
+        from repro.bench.perf import DEFAULT_REPORT as PERF_REPORT
+
+        # --out/--baseline default to the perf report; when routing to
+        # the scale harness, untouched defaults become the scale report.
+        out = args.out if args.out != PERF_REPORT else scale.DEFAULT_REPORT
+        baseline = (args.baseline if args.baseline != PERF_REPORT
+                    else scale.DEFAULT_REPORT)
+        try:
+            return scale.main(
+                smoke=args.smoke,
+                check=args.check,
+                out=out,
+                baseline_path=baseline,
+                jobs=args.jobs,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"repro perf --scale: error: {exc}", file=sys.stderr)
+            return 2
+
     try:
         return perf.main(
             quick=args.quick,
@@ -741,6 +764,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     perf.add_argument("--quick", action="store_true",
                       help="CI subset of the matrix")
+    perf.add_argument("--scale", action="store_true",
+                      help="run the open-loop saturation matrix instead "
+                           "(BENCH_scale.json: knees + RSS budgets; "
+                           "--check compares fingerprints exactly)")
+    perf.add_argument("--smoke", action="store_true",
+                      help="with --scale: the cheap per-system subset")
     perf.add_argument("--check", action="store_true",
                       help="compare against the committed report instead of "
                            "writing; exit 1 on regression")

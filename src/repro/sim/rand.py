@@ -24,6 +24,11 @@ from typing import Dict, Sequence
 WORKLOAD_STREAM = "workload"
 NETWORK_STREAM = "network"
 FAULTS_STREAM = "faults"
+#: Open-loop arrival process (repro.sim.arrivals / repro.workloads
+#: .openloop). Isolated for the same reason as faults: attaching an
+#: open-loop engine must not shift the draws a closed-loop run makes
+#: from the workload or network streams.
+ARRIVALS_STREAM = "arrivals"
 
 
 class RandomStreams:

@@ -3,6 +3,8 @@
 * :class:`Resource` — a capacity-limited server (e.g. the CPU cores of a
   data site). Requests queue FIFO when the resource is saturated.
 * :class:`Store` — an unbounded FIFO message queue used for inboxes.
+* :class:`AdmissionQueue` — a bounded FIFO with offered/admitted/shed
+  accounting, fronting each site under open-loop traffic (DESIGN.md §9).
 * :class:`RWLock` — a fair readers-writer lock used by the site selector
   for partition metadata (paper §V-B).
 """
@@ -180,6 +182,100 @@ class Store:
         else:
             self._getters.append(event)
         return event
+
+
+class AdmissionQueue:
+    """A bounded FIFO admission queue with load-shedding accounting.
+
+    Under open-loop traffic the arrival process offers work at a rate
+    the system does not control, so each site needs a queue between
+    arrivals and its dispatcher slots — and that queue needs *honest*
+    accounting, because queue depth and admission wait are exactly the
+    signals that distinguish a saturated system from a healthy one
+    (docs/SCALE.md).
+
+    ``capacity = 0`` means unbounded (pure queue-growth observation);
+    a positive capacity sheds arrivals that find the queue full — the
+    queue-based load-leveling pattern, where ``shed`` becomes the
+    overload signal instead of unbounded latency.
+
+    Conservation invariants (pinned by ``tests/test_openloop.py``)::
+
+        offered  == admitted + shed
+        admitted == taken + len(queue)
+
+    ``taken`` counts items the moment they leave the queue (including
+    the fast path where an offer lands directly on a waiting getter),
+    so the second identity holds structurally at every instant.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 0):
+        if capacity < 0:
+            raise SimulationError(f"queue capacity must be >= 0, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        #: Arrivals presented to the queue (admitted + shed).
+        self.offered = 0
+        #: Arrivals accepted (queued or handed straight to a getter).
+        self.admitted = 0
+        #: Arrivals dropped because the queue was at capacity.
+        self.shed = 0
+        #: Items that have left the queue toward a dispatcher.
+        self.taken = 0
+        #: Deepest the backlog has ever been.
+        self.peak_depth = 0
+        # Time-weighted depth integral for mean_depth().
+        self._depth_area = 0.0
+        self._last_change = env.now
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._depth_area += len(self._items) * (now - self._last_change)
+        self._last_change = now
+
+    def offer(self, item: Any) -> bool:
+        """Present an arrival; returns ``False`` if it was shed."""
+        self.offered += 1
+        if self._getters:
+            # Fast path: a dispatcher is already waiting, so the item
+            # never occupies the backlog — admitted and taken at once.
+            self.admitted += 1
+            self.taken += 1
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity and len(self._items) >= self.capacity:
+            self.shed += 1
+            return False
+        self._account()
+        self.admitted += 1
+        self._items.append(item)
+        if len(self._items) > self.peak_depth:
+            self.peak_depth = len(self._items)
+        return True
+
+    def take(self) -> Event:
+        """Event that triggers with the next admitted item (FIFO)."""
+        event = Event(self.env)
+        if self._items:
+            self._account()
+            self.taken += 1
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def mean_depth(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean backlog depth since creation."""
+        self._account()
+        window = now if now is not None else self.env.now
+        if window <= 0:
+            return 0.0
+        return self._depth_area / window
 
 
 class RWLock:

@@ -13,10 +13,17 @@
 """
 
 from repro.workloads.base import ClientTurn, Workload
+from repro.workloads.openloop import (
+    ClientPool,
+    LazyClientPool,
+    OpenLoopEngine,
+    OpenLoopSpec,
+    StatelessClientPool,
+)
 from repro.workloads.smallbank import SmallBankConfig, SmallBankWorkload
 from repro.workloads.trace import WorkloadTrace, record_trace
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
-from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+from repro.workloads.ycsb import YCSBClientPool, YCSBConfig, YCSBWorkload
 
 #: Registry of buildable workloads: name -> (config class, workload
 #: class). This is what lets a :class:`~repro.bench.parallel.RunSpec`
@@ -51,14 +58,20 @@ def build_workload(name: str, **params) -> Workload:
 __all__ = [
     "WORKLOAD_REGISTRY",
     "build_workload",
+    "ClientPool",
     "ClientTurn",
+    "LazyClientPool",
+    "OpenLoopEngine",
+    "OpenLoopSpec",
     "SmallBankConfig",
     "SmallBankWorkload",
+    "StatelessClientPool",
     "WorkloadTrace",
     "record_trace",
     "TPCCConfig",
     "TPCCWorkload",
     "Workload",
+    "YCSBClientPool",
     "YCSBConfig",
     "YCSBWorkload",
 ]

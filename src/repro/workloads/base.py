@@ -84,3 +84,17 @@ class Workload(ABC):
     def recommended_weights(self) -> StrategyWeights:
         """DynaMast hyperparameters for this workload (Appendix H)."""
         return StrategyWeights()
+
+    def client_pool(self, num_clients: int):
+        """Aggregated client state for open-loop traffic.
+
+        The default is the always-correct :class:`~repro.workloads.
+        openloop.LazyClientPool` (real state objects, created lazily).
+        Workloads meant to scale to 100k+ modeled clients override this
+        with an array-backed or stateless pool; the override must honor
+        the equivalence contract — consume exactly the RNG draws of
+        ``new_client_state`` (first touch) + ``next_transaction``.
+        """
+        from repro.workloads.openloop import LazyClientPool
+
+        return LazyClientPool(self, num_clients)

@@ -141,3 +141,11 @@ class SmallBankWorkload(Workload):
         for user in range(self.config.users):
             yield ("checking", user), 1000
             yield ("savings", user), 1000
+
+    def client_pool(self, num_clients: int):
+        """SmallBank clients carry no generator state beyond their id
+        (``new_client_state`` consumes no RNG), so the open-loop pool
+        is stateless — zero bytes per modeled client."""
+        from repro.workloads.openloop import StatelessClientPool
+
+        return StatelessClientPool(self, num_clients, _ClientState)

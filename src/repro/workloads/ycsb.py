@@ -24,6 +24,7 @@ being replaced by a new client (fresh session, new affinity base).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Tuple
 
@@ -195,3 +196,56 @@ class YCSBWorkload(Workload):
     def initial_records(self) -> Iterable[Tuple[Key, Any]]:
         total = self.config.num_partitions * self.config.keys_per_partition
         return (((TABLE, key), 0) for key in range(total))
+
+    def client_pool(self, num_clients: int) -> "YCSBClientPool":
+        return YCSBClientPool(self, num_clients)
+
+
+class YCSBClientPool:
+    """Array-backed YCSB client state: 16 bytes per modeled client.
+
+    Replaces one :class:`_ClientState` object (~150 bytes + GC
+    pressure) per client with two machine words — ``affinity_base``
+    (signed, -1 = client never seen) and ``remaining`` — so 100k
+    modeled clients cost ~1.6 MB instead of tens of MB of objects.
+
+    Equivalence contract (pinned by ``tests/test_openloop.py``): the
+    draw sequence per turn is identical to ``new_client_state`` (first
+    touch: one ``_draw_base``) + ``next_transaction`` (departure
+    re-draw, affinity-spread randint, mix Bernoulli, then the RMW/scan
+    key draws), so pool-driven generation is bit-identical to
+    individually-modeled clients served in the same order.
+    """
+
+    def __init__(self, workload: YCSBWorkload, num_clients: int):
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        self.workload = workload
+        self.num_clients = num_clients
+        self._affinity = array("q", bytes(8 * num_clients))
+        for index in range(num_clients):
+            self._affinity[index] = -1
+        self._remaining = array("q", bytes(8 * num_clients))
+
+    def turn(self, client_id: int, rng, now: float) -> ClientTurn:
+        w = self.workload
+        cfg = w.config
+        reset = False
+        if self._affinity[client_id] < 0:
+            # First arrival: the lazy equivalent of new_client_state.
+            self._affinity[client_id] = w._draw_base(rng)
+            self._remaining[client_id] = cfg.affinity_txns
+        if self._remaining[client_id] <= 0:
+            # The client departs; a new one takes its place.
+            self._affinity[client_id] = w._draw_base(rng)
+            self._remaining[client_id] = cfg.affinity_txns
+            reset = True
+        self._remaining[client_id] -= 1
+
+        spread = rng.randint(-cfg.affinity_spread, cfg.affinity_spread)
+        base = w._neighbour(self._affinity[client_id], spread)
+        if rng.random() < cfg.rmw_fraction:
+            txn = w._make_rmw(base, client_id, rng)
+        else:
+            txn = w._make_scan(base, client_id, rng)
+        return ClientTurn(txn, reset_session=reset)
