@@ -1,6 +1,6 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test lint bench examples quick chaos chaos-gray explain-smoke masters-smoke perf perf-check scale scale-smoke clean
+.PHONY: install test lint bench examples quick chaos chaos-gray explain-smoke masters-smoke slo-smoke perf perf-check scale scale-smoke clean
 
 # Worker processes for parallel-capable targets (perf, test with
 # pytest-xdist installed). 1 = classic serial behavior.
@@ -95,6 +95,40 @@ masters-smoke:
 	  assert all(recompute_decision(d)[1] for d in decisions), 'offline recompute mismatch'; \
 	  assert header['partitions_moved'] == len(data['changes']), 'totals disagree'; \
 	  print('masters-smoke OK:', len(decisions), 'decisions,', len(data['changes']), 'ownership changes round-tripped')"
+
+# SLO gate (DESIGN.md §6.7): a fail-slow gray run with the streaming
+# monitors attached must detect the injected fault window (>= 1
+# true-positive incident, no missed spans), hold all four runtime
+# invariants, and leave a repro-slo/1 ledger plus a self-contained
+# HTML dashboard for CI to upload. The second step re-runs the same
+# spec with and without the engine and pins the fingerprints
+# bit-identical: monitoring never changes a run.
+# (6000 ms, not shorter: with the adaptive defenses armed — the
+# default, and the config the tests pin — a briefer fail-slow window
+# is masked so well by hedging/health-aware remastering that the
+# burn-rate gate rightly stays quiet.)
+slo-smoke:
+	python -m repro slo --system dynamast --scenario fail_slow_master \
+		--duration 6000 --clients 8 --quick \
+		--html slo_dashboard.html --export-jsonl slo_incidents.jsonl
+	python -c "from repro.obs.slo import load_jsonl; import os; \
+	  data = load_jsonl('slo_incidents.jsonl'); header = data['header']; \
+	  assert header['true_positives'] >= 1, header; \
+	  assert header['violations'] == 0, header; \
+	  assert header['missed_faults'] == 0, header; \
+	  assert data['spans'] and all(s['detected'] for s in data['spans']), data['spans']; \
+	  assert os.path.getsize('slo_dashboard.html') > 0; \
+	  print('slo-smoke OK: %d true positive(s), MTTD %.0f ms' \
+	        % (header['true_positives'], header['mttd_mean_ms']))"
+	python -c "from repro.bench.parallel import run_fingerprint; \
+	  from repro.faults.chaos import run_chaos; \
+	  from repro.obs import quick_slos; \
+	  kw = dict(num_clients=8, duration_ms=2000.0); \
+	  off = run_chaos('dynamast', 'fail_slow_master', **kw).result; \
+	  on = run_chaos('dynamast', 'fail_slow_master', slo=quick_slos(), **kw).result; \
+	  a, b = run_fingerprint(off), run_fingerprint(on); \
+	  assert a == b, (a, b); \
+	  print('slo-smoke OK: slo-ON fingerprint == slo-OFF (%s)' % a)"
 
 # Full perf matrix; refreshes BENCH_perf.json (see DESIGN.md §8).
 # JOBS=n fans the cases over worker processes; simulated results are

@@ -43,6 +43,8 @@ FIELDS = (
     "false_suspicions",
     "hedges_launched",
     "hedge_wins",
+    "detection_latency_ms",
+    "quarantine_ms",
 )
 
 
@@ -79,6 +81,12 @@ def run_to_row(result: RunResult) -> Dict[str, object]:
         "false_suspicions": metrics.detector_counters.get("false_suspicions", 0),
         "hedges_launched": metrics.detector_counters.get("hedges_launched", 0),
         "hedge_wins": metrics.detector_counters.get("hedge_wins", 0),
+        # Blank (not 0) when the detector never suspected / no fault was
+        # planned — absence of a measurement, not a zero measurement.
+        "detection_latency_ms": metrics.detector_counters.get(
+            "detection_latency_ms", ""
+        ),
+        "quarantine_ms": metrics.detector_counters.get("quarantine_ms", ""),
     }
 
 
@@ -153,6 +161,27 @@ def attach_mastery(row: Dict[str, object], result: RunResult) -> None:
         row[f"mastery_{name}"] = summary[name]
 
 
+def attach_slo(row: Dict[str, object], result: RunResult) -> None:
+    """Add ``slo_<metric>`` columns for an SLO-monitored run.
+
+    No-op when no SLO engine watched the run, keeping plain exports'
+    exact schema. Live results summarize their engine here; portable
+    :class:`RunSummary` objects carry the verdict scalars pre-folded
+    (the engine stayed in the worker process).
+    """
+    slo = getattr(result, "slo", None)
+    if slo is None:
+        return
+    if getattr(slo, "enabled", False):
+        summary = slo.summary()
+    elif isinstance(slo, Mapping) and slo:
+        summary = slo
+    else:
+        return
+    for name, value in sorted(summary.items()):
+        row[f"slo_{name}"] = value
+
+
 def rows_from(results) -> List[Dict[str, object]]:
     """Flatten a RunResult/RunSummary, a mapping of them, or nested mappings."""
     if isinstance(results, (RunResult, RunSummary)):
@@ -160,6 +189,7 @@ def rows_from(results) -> List[Dict[str, object]]:
         attach_attribution(row, results)
         attach_open_loop(row, results)
         attach_mastery(row, results)
+        attach_slo(row, results)
         return [row]
     if isinstance(results, Mapping):
         rows: List[Dict[str, object]] = []
@@ -193,6 +223,9 @@ def to_csv(results) -> str:
     })
     fields += sorted({
         key for row in rows for key in row if key.startswith("mastery_")
+    })
+    fields += sorted({
+        key for row in rows for key in row if key.startswith("slo_")
     })
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=fields, extrasaction="ignore")

@@ -69,6 +69,9 @@ class RunResult:
     obs: Optional[Observability] = field(repr=False, default=None)
     #: The decision ledger of a mastering-observed run (None otherwise).
     ledger: Optional[object] = field(repr=False, default=None)
+    #: The SLO engine of an SLO-monitored run (None otherwise) —
+    #: finalized, with incidents/violations/correlation populated.
+    slo: Optional[object] = field(repr=False, default=None)
     #: The live system object, for deeper inspection in tests/benches.
     system: Optional[System] = field(repr=False, default=None)
     #: Recorded offered arrival rate (arrivals/s over the post-warmup
@@ -121,6 +124,7 @@ def run_benchmark(
     fault_plan=None,
     ledger=None,
     open_loop=None,
+    slo=None,
 ) -> RunResult:
     """Run ``workload`` against one system and measure it.
 
@@ -144,6 +148,13 @@ def run_benchmark(
     the system's site selector (ignored for selector-less systems); the
     ledger is passive, so even a ledger-observed run's simulated
     outcome is bit-identical to an unobserved one.
+    ``slo`` attaches a :class:`~repro.obs.slo.SloEngine`: every
+    recorded transaction streams through its windowed SLO monitors and
+    the runtime invariants are checked at each window close; the
+    finalized engine (incidents, violations, fault correlation) comes
+    back on ``RunResult.slo``. The engine is a passive recorder — it
+    schedules nothing and consumes no randomness — so an SLO-monitored
+    run's simulated outcome is bit-identical to an unmonitored one.
     ``open_loop`` replaces the closed-loop clients with an
     :class:`~repro.workloads.openloop.OpenLoopEngine` driven by the
     given :class:`~repro.workloads.openloop.OpenLoopSpec`: arrivals
@@ -208,6 +219,8 @@ def run_benchmark(
         engine = OpenLoopEngine(system, workload, open_loop, metrics,
                                 warmup_ms, observability)
         engine.install(duration_ms)
+        if observability.enabled:
+            engine.attach_probes(observability.sampler)
         num_clients = open_loop.modeled_clients
     else:
         rng = cluster.streams.stream("workload")
@@ -216,10 +229,24 @@ def run_benchmark(
                 _client_loop(system, workload, client_id, rng, metrics, warmup_ms,
                              observability)
             )
+    if slo is not None and slo.enabled:
+        slo.install(
+            system,
+            injector=injector,
+            queues=engine.queues if engine is not None else (),
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+        )
+        metrics.slo_engine = slo
     for when, fn in events:
         cluster.env.process(_fire_event(cluster.env, when, fn, system, workload))
 
     cluster.env.run(until=duration_ms)
+    if slo is not None and slo.enabled:
+        slo.finalize(duration_ms)
+        # Detach before the metrics object travels (RunSummary pickles
+        # Metrics; the engine holds live cluster references).
+        metrics.slo_engine = None
     wall_clock_s = time.perf_counter() - wall_start
 
     window = duration_ms - warmup_ms
@@ -239,6 +266,14 @@ def run_benchmark(
 
         metrics.open_loop_counters = engine.counters()
         offered_rate = offered_rate_tps(metrics.open_loop_counters, window)
+        # Per-site end-of-run queue state, for the per-site Prometheus
+        # gauges. Kept OFF the fingerprinted counters() dict so the
+        # committed BENCH_scale.json fingerprints stay valid.
+        metrics.open_loop_sites = tuple(
+            {"site": index, "depth": float(len(queue)),
+             "shed": float(queue.shed), "offered": float(queue.offered)}
+            for index, queue in enumerate(engine.queues)
+        )
     return RunResult(
         system_name=system_name,
         workload_name=workload.name,
@@ -259,6 +294,7 @@ def run_benchmark(
         timelines=dict(observability.timelines) if observability.enabled else {},
         obs=obs,
         ledger=ledger,
+        slo=slo,
         system=system,
         offered_rate=offered_rate,
         wall_clock_s=wall_clock_s,

@@ -74,6 +74,16 @@ class Metrics:
     so existing results are unchanged.
     """
 
+    #: SLO engine observing the record stream (attached by the harness
+    #: for SLO-monitored runs, detached again before the run returns).
+    #: Class-level default so unmonitored runs pay one ``is None``
+    #: check per record and pickled instances never carry an engine.
+    slo_engine = None
+    #: Per-site end-of-run admission-queue state of an open-loop run
+    #: ((site, depth, shed, offered) dicts) — folded by the harness,
+    #: deliberately outside the fingerprinted ``open_loop_counters``.
+    open_loop_sites: tuple = ()
+
     def __init__(self, streaming: bool = False):
         self.streaming = streaming
         self.latencies: Dict[str, Union[List[float], StreamingHistogram]] = {}
@@ -101,8 +111,9 @@ class Metrics:
         #: Failure-detector / hedging counters folded in by the harness
         #: for fault-injected runs (suspicion_episodes /
         #: false_suspicions / suspected_sites / hedges_launched /
-        #: hedge_wins); empty without an installed injector.
-        self.detector_counters: Dict[str, int] = {}
+        #: hedge_wins, plus detection_latency_ms / quarantine_ms when
+        #: defined); empty without an installed injector.
+        self.detector_counters: Dict[str, float] = {}
         #: Open-loop traffic counters folded in by the harness for
         #: open-loop runs (offered / offered_recorded / admitted / shed
         #: / taken / completed / peak_depth / mean_depth ... — see
@@ -124,6 +135,8 @@ class Metrics:
         now: float,
     ) -> None:
         """Account one completed transaction (committed or aborted)."""
+        if self.slo_engine is not None:
+            self.slo_engine.observe_txn(txn, outcome, latency, now)
         self.retries += outcome.retries
         if not outcome.committed:
             self.aborts[txn.txn_type] = self.aborts.get(txn.txn_type, 0) + 1
@@ -283,13 +296,14 @@ class Metrics:
             if name in self.detector_counters:
                 counter(f"repro_detector_{name}_total",
                         [({}, self.detector_counters[name])])
-        if "suspected_sites" in self.detector_counters:
-            lines.append("# TYPE repro_detector_suspected_sites gauge")
-            merged = _merge_labels(labels, {})
-            lines.append(
-                f"repro_detector_suspected_sites{_format_labels(merged)} "
-                f"{_format_value(self.detector_counters['suspected_sites'])}"
-            )
+        for name in ("suspected_sites", "detection_latency_ms", "quarantine_ms"):
+            if name in self.detector_counters:
+                lines.append(f"# TYPE repro_detector_{name} gauge")
+                merged = _merge_labels(labels, {})
+                lines.append(
+                    f"repro_detector_{name}{_format_labels(merged)} "
+                    f"{_format_value(self.detector_counters[name])}"
+                )
         if self.open_loop_counters:
             for name in ("offered", "admitted", "shed", "taken", "completed"):
                 if name in self.open_loop_counters:
@@ -304,6 +318,18 @@ class Metrics:
                         f"repro_openloop_{name}{_format_labels(merged)} "
                         f"{_format_value(self.open_loop_counters[name])}"
                     )
+        if self.open_loop_sites:
+            lines.append("# TYPE repro_openloop_queue_depth gauge")
+            for entry in self.open_loop_sites:
+                merged = _merge_labels(labels, {"site": str(entry["site"])})
+                lines.append(
+                    f"repro_openloop_queue_depth{_format_labels(merged)} "
+                    f"{_format_value(entry['depth'])}"
+                )
+            counter("repro_openloop_queue_shed_total", [
+                ({"site": str(entry["site"])}, entry["shed"])
+                for entry in self.open_loop_sites
+            ])
         wait_count = (
             self.admission_waits.count
             if isinstance(self.admission_waits, StreamingHistogram)

@@ -176,6 +176,9 @@ class RunSpec:
     #: Attach a fresh DecisionLedger in the worker (mastering metrics
     #: come back folded on ``RunSummary.mastery``; the ledger does not).
     mastery: bool = False
+    #: Attach a fresh SloEngine in the worker (the scalar verdict comes
+    #: back folded on ``RunSummary.slo``; the engine does not).
+    slo: bool = False
     #: Named fault scenario, instantiated in the worker via
     #: :func:`repro.faults.plan.build_scenario` against this spec's
     #: cluster size and duration.
@@ -230,6 +233,11 @@ def execute_spec(spec: RunSpec):
         from repro.obs.mastery import DecisionLedger
 
         ledger = DecisionLedger()
+    slo_engine = None
+    if spec.slo:
+        from repro.obs.slo import SloEngine
+
+        slo_engine = SloEngine()
     return run_benchmark(
         spec.system,
         spec.workload.build(),
@@ -246,6 +254,7 @@ def execute_spec(spec: RunSpec):
         fault_plan=plan,
         ledger=ledger,
         open_loop=spec.open_loop,
+        slo=slo_engine,
     )
 
 
@@ -287,6 +296,10 @@ class RunSummary:
     #: Folded ledger scalars (mastery runs only): locality share,
     #: entropy, churn, convergence — see DecisionLedger.summary().
     mastery: Dict[str, float] = field(default_factory=dict)
+    #: Folded SLO verdict (SLO-monitored runs only): incident /
+    #: violation / true-positive counts, MTTD/MTTR — see
+    #: SloEngine.summary().
+    slo: Dict[str, float] = field(default_factory=dict)
     #: Recorded offered arrival rate (open-loop runs; 0.0 closed-loop).
     offered_rate: float = 0.0
     #: Canonical digest of the simulated outcome (:func:`run_fingerprint`).
@@ -331,6 +344,13 @@ def summarize(result) -> RunSummary:
         mastery = ledger.summary()
     elif getattr(result, "mastery", None):
         mastery = dict(result.mastery)  # re-summarizing a RunSummary
+    slo_verdict: Dict[str, float] = {}
+    slo = getattr(result, "slo", None)
+    if slo is not None:
+        if getattr(slo, "enabled", False):
+            slo_verdict = slo.summary()
+        elif isinstance(slo, dict):
+            slo_verdict = dict(slo)  # re-summarizing a RunSummary
     return RunSummary(
         system_name=result.system_name,
         workload_name=result.workload_name,
@@ -350,6 +370,7 @@ def summarize(result) -> RunSummary:
         timelines=dict(result.timelines),
         attribution_shares=shares,
         mastery=mastery,
+        slo=slo_verdict,
         offered_rate=getattr(result, "offered_rate", 0.0),
         fingerprint=run_fingerprint(result),
         wall_clock_s=result.wall_clock_s,

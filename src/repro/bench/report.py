@@ -99,6 +99,12 @@ def print_run_report(result) -> None:
         for key, label in labels.items():
             if key in detector:
                 activity.append([label, f"{detector[key]:,}"])
+        for key, label in (
+            ("detection_latency_ms", "detection latency"),
+            ("quarantine_ms", "quarantine time"),
+        ):
+            if key in detector:
+                activity.append([label, f"{detector[key]:,.2f} ms"])
     for txn_type, count in sorted(result.aborts_by_type.items()):
         activity.append([f"aborts ({txn_type})", f"{count:,}"])
     for reason, count in sorted(result.aborts_by_reason.items()):
@@ -110,6 +116,9 @@ def print_run_report(result) -> None:
     ledger = getattr(result, "ledger", None)
     if mastery or (ledger is not None and ledger.enabled):
         print_mastering(result)
+    slo = getattr(result, "slo", None)
+    if slo is not None and (getattr(slo, "enabled", False) or slo):
+        print_slo(result)
     if result.timelines:
         print_table(
             "sampled timelines (mean / max over run)",
@@ -200,6 +209,88 @@ def print_mastering(result) -> None:
                   timeline.render(partition, max_intervals=6)]
                  for partition, moves in movers],
             )
+
+
+def print_slo(result) -> None:
+    """Print the SLO/incident verdict of an SLO-monitored run.
+
+    Works on a live :class:`~repro.bench.harness.RunResult` carrying a
+    :class:`~repro.obs.slo.SloEngine` (full objective, incident, and
+    fault-correlation tables) and on a portable ``RunSummary`` whose
+    ``slo`` verdict scalars were folded worker-side (summary table
+    only — the window series stayed in the worker).
+    """
+    slo = getattr(result, "slo", None)
+    if slo is None:
+        return
+    if not getattr(slo, "enabled", False):
+        if not slo:
+            return
+        print_table(
+            "SLO verdict (folded)", ["metric", "value"],
+            [[name, f"{value:g}"] for name, value in sorted(slo.items())],
+        )
+        return
+
+    print_table(
+        "SLO objectives",
+        ["objective", "metric", "bound", "threshold", "windows",
+         "breached", "incidents"],
+        [
+            [row["objective"], row["metric"], row["bound"],
+             "unarmed" if row["threshold"] is None
+             else f"{row['threshold']:,.3f}",
+             row["windows"], row["breached_windows"], row["incidents"]]
+            for row in slo.objective_rows()
+        ],
+    )
+    episodes = list(slo.incidents) + list(slo.violations)
+    if episodes:
+        print_table(
+            "incidents",
+            ["kind", "objective", "onset ms", "clear ms", "peak sev",
+             "blamed sites", "detail"],
+            [
+                [inc.kind, inc.objective, f"{inc.onset_ms:,.0f}",
+                 "open" if inc.clear_ms is None else f"{inc.clear_ms:,.0f}",
+                 f"{inc.peak_severity:,.2f}",
+                 ",".join(str(s) for s in inc.blamed_sites) or "-",
+                 (inc.detail or "")[:60]]
+                for inc in episodes
+            ],
+        )
+    if slo.correlation:
+        print_table(
+            "fault correlation (vs injector ground truth)",
+            ["fault window", "kinds", "sites", "detected",
+             "MTTD ms", "MTTR ms", "incidents"],
+            [
+                [f"[{span['start_ms']:,.0f}, {span['end_ms']:,.0f})",
+                 ",".join(span["kinds"]), ",".join(map(str, span["sites"])),
+                 "yes" if span["detected"] else "MISS",
+                 "-" if span["detection_ms"] is None
+                 else f"{span['detection_ms']:,.0f}",
+                 "-" if span["recovery_ms"] is None
+                 else f"{span['recovery_ms']:,.0f}",
+                 ",".join(sorted(set(span["incidents"]))) or "-"]
+                for span in slo.correlation
+            ],
+        )
+    summary = slo.summary()
+    verdict = [
+        ["incidents (SLO)", f"{int(summary['incidents']):,}"],
+        ["violations (invariant)", f"{int(summary['violations']):,}"],
+        ["true positives", f"{int(summary['true_positives']):,}"],
+        ["false positives", f"{int(summary['false_positives']):,}"],
+        ["fault spans detected",
+         f"{int(summary['detected_spans']):,} / {int(summary['fault_spans']):,}"],
+        ["MTTD", "n/a" if summary["mttd_mean_ms"] < 0
+         else f"{summary['mttd_mean_ms']:,.0f} ms"],
+        ["MTTR", "n/a" if summary["mttr_mean_ms"] < 0
+         else f"{summary['mttr_mean_ms']:,.0f} ms"],
+        ["windows evaluated", f"{int(summary['windows_evaluated']):,}"],
+    ]
+    print_table("SLO verdict", ["metric", "value"], verdict)
 
 
 def print_attribution(result) -> None:

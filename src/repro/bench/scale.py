@@ -336,6 +336,117 @@ def check_report(current: Dict, committed: Dict) -> List[str]:
     return failures
 
 
+def _first_collapsed(points: Sequence[Dict], knee: Optional[Dict],
+                     threshold: float) -> Optional[Dict]:
+    """The lowest rung past the knee that fails to keep up."""
+    for point in points:
+        ratio = point.get("goodput_ratio")
+        if ratio is not None and ratio >= threshold:
+            continue
+        if knee is None or point["offered_tps"] > knee["offered_tps"]:
+            return point
+    return None
+
+
+def knee_tables(report: Dict) -> Dict[str, str]:
+    """Markdown knee tables rendered from a report payload.
+
+    The canonical source of the saturation tables in EXPERIMENTS.md
+    and docs/SCALE.md — those files embed this output verbatim
+    (``tests/test_scale.py`` pins it), so the docs can never drift from
+    the committed ``BENCH_scale.json``. Keys:
+
+    * ``"summary"`` — the three-column per-system table (EXPERIMENTS.md);
+    * ``"detail"`` — the five-column per-system table (docs/SCALE.md);
+    * one key per non-ladder case name (e.g. the diurnal flagship) —
+      that case's full ladder table, knee row bolded (docs/SCALE.md).
+    """
+    threshold = report.get("settings", {}).get("knee_threshold",
+                                               KNEE_THRESHOLD)
+    cases = report["cases"]
+    ordered = [case.name for case in SCALE_MATRIX if case.name in cases]
+    ordered += [name for name in sorted(cases) if name not in ordered]
+
+    summary = ["| System | Knee (offered/s) | First collapsed rung |",
+               "|---|---|---|"]
+    detail = ["| system | knee (offered/s) | ratio at knee | "
+              "first collapsed rung | ratio there |",
+              "|---|---|---|---|---|"]
+    tables: Dict[str, str] = {}
+    for name in ordered:
+        entry = cases[name]
+        points = entry["points"]
+        knee = entry.get("knee")
+        collapse = _first_collapsed(points, knee, threshold)
+        if name.endswith("-constant-8x20k"):
+            system = entry["system"]
+            if knee is None:
+                plain_knee, bold_knee, knee_ratio = "none", "none", "-"
+            else:
+                plain_knee = (f"{knee['offered_tps']:,.0f} "
+                              f"(x{knee['multiplier']:g})")
+                bold_knee = (f"**{knee['offered_tps']:,.0f}** "
+                             f"(x{knee['multiplier']:g})")
+                knee_ratio = f"{knee['goodput_ratio']:.2f}"
+            if collapse is None:
+                summary_cell, rung_cell, rung_ratio = "-", "-", "-"
+            else:
+                ratio = collapse.get("goodput_ratio")
+                rung_ratio = "-" if ratio is None else f"{ratio:.2f}"
+                rung_cell = (f"x{collapse['multiplier']:g} = "
+                             f"{collapse['offered_tps']:,.0f}/s")
+                summary_cell = (f"x{collapse['multiplier']:g}: "
+                                f"ratio {rung_ratio}")
+            summary.append(f"| {system} | {plain_knee} | {summary_cell} |")
+            detail.append(f"| {system} | {bold_knee} | {knee_ratio} | "
+                          f"{rung_cell} | {rung_ratio} |")
+        else:
+            lines = ["| multiplier | offered/s | goodput/s | ratio | "
+                     "wait p99 | peak RSS |",
+                     "|---|---|---|---|---|---|"]
+            for point in points:
+                ratio = point.get("goodput_ratio")
+                cells = [
+                    f"x{point['multiplier']:g}",
+                    f"{point['offered_tps']:,.0f}",
+                    f"{point['goodput_tps']:,.0f}",
+                    "-" if ratio is None else f"{ratio:.2f}",
+                    f"{point['admission_wait_p99_ms']:,.1f} ms",
+                    f"{point['peak_rss_kb'] // 1024} MB",
+                ]
+                if knee is not None and point["multiplier"] == knee["multiplier"]:
+                    cells[:4] = [f"**{cell}**" for cell in cells[:4]]
+                lines.append("| " + " | ".join(cells) + " |")
+            tables[name] = "\n".join(lines)
+    tables["summary"] = "\n".join(summary)
+    tables["detail"] = "\n".join(detail)
+    return tables
+
+
+def render_tables(report: Dict) -> str:
+    """All knee tables as one printable markdown document."""
+    tables = knee_tables(report)
+    parts = [
+        "<!-- generated by `repro perf --scale --render-tables` from the "
+        "committed BENCH_scale.json -->",
+        "",
+        "Per-system knees (EXPERIMENTS.md):",
+        "",
+        tables.pop("summary"),
+        "",
+        "Per-system knees, detailed (docs/SCALE.md):",
+        "",
+        tables.pop("detail"),
+    ]
+    for name in sorted(tables):
+        parts += ["", f"{name} ladder (docs/SCALE.md):", "", tables[name]]
+    return "\n".join(parts) + "\n"
+
+
+#: Alias for :func:`main`, whose ``render_tables`` flag shadows the name.
+_render_tables_text = render_tables
+
+
 def load_report(path: str) -> Dict:
     with open(path) as handle:
         payload = json.load(handle)
@@ -361,6 +472,7 @@ def main(
     out: str = DEFAULT_REPORT,
     baseline_path: str = DEFAULT_REPORT,
     jobs: int = 1,
+    render_tables: bool = False,
     emit=print,
 ) -> int:
     """Drive a scale run; returns a process exit code.
@@ -368,8 +480,14 @@ def main(
     ``check=False``: run the matrix (or the ``--smoke`` subset) and
     write ``out``. ``check=True``: run, compare fingerprints exactly
     and RSS against budget versus the committed ``baseline_path``;
-    never writes; exit 1 on any failure.
+    never writes; exit 1 on any failure. ``render_tables=True``: load
+    the committed ``baseline_path`` and print its knee tables as
+    markdown (the EXPERIMENTS.md / docs/SCALE.md source) without
+    running anything.
     """
+    if render_tables:
+        emit(_render_tables_text(load_report(baseline_path)).rstrip("\n"))
+        return 0
     committed = load_report(baseline_path) if check else None
     cases = select_cases(smoke=smoke)
     points = sum(len(case.ladder) for case in cases)

@@ -18,10 +18,18 @@ Commands:
 * ``chaos`` — run a named fault scenario against one system and print
   the availability timeline (optionally exporting it as CSV);
   ``--masters`` adds mastering re-convergence after each transition;
+  ``--slo`` evaluates the SLO/invariant monitors over every run;
+* ``slo`` — run one system under a fault scenario (or unfaulted with
+  ``--scenario none``) with the streaming SLO engine attached: windowed
+  objectives, burn-rate incidents, runtime invariant checks, and
+  MTTD/MTTR against the injector's ground truth; exports JSONL/CSV/
+  Prometheus and a self-contained HTML dashboard (``--html``);
 * ``perf`` — run the pinned wall-clock matrix, write ``BENCH_perf.json``,
   or (``--check``) gate against the committed baseline; ``--scale``
   runs the open-loop saturation matrix instead (``BENCH_scale.json``:
-  per-system saturation knees, exact-fingerprint + RSS-budget gates);
+  per-system saturation knees, exact-fingerprint + RSS-budget gates)
+  and ``--scale --render-tables`` re-renders the committed report's
+  knee tables as markdown without running anything;
 * ``experiments`` — list the per-figure experiment drivers.
 """
 
@@ -403,6 +411,58 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_slo(args) -> int:
+    from repro.bench.report import print_slo
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+    from repro.obs import SloEngine, quick_slos
+
+    if args.window <= 0:
+        print(f"repro slo: error: --window must be positive, "
+              f"got {args.window}", file=sys.stderr)
+        return 2
+    engine = (quick_slos(window_ms=args.window) if args.quick
+              else SloEngine(window_ms=args.window))
+    # "none" runs unfaulted: the objectives and invariants still
+    # evaluate, but there is no ground truth to correlate against, so
+    # any incident is a false positive by definition.
+    plan = FaultPlan() if args.scenario == "none" else None
+    report = run_chaos(
+        args.system,
+        args.scenario,
+        num_sites=args.sites,
+        num_clients=args.clients,
+        duration_ms=args.duration,
+        seed=args.seed,
+        plan=plan,
+        slo=engine,
+        defenses=args.defenses,
+    )
+    print(f"\n== repro slo: {args.system} under {args.scenario} "
+          f"({args.sites} sites, {args.duration:g} ms, "
+          f"defenses={args.defenses}, window={args.window:g} ms) ==")
+    print_slo(report.result)
+    if args.html:
+        from repro.obs.dashboard import write_dashboard
+
+        write_dashboard(report.result, args.html,
+                        title=f"{args.system} / {args.scenario}")
+        print(f"wrote {args.html}", file=sys.stderr)
+    if args.export_jsonl:
+        engine.write_jsonl(args.export_jsonl)
+        print(f"wrote {args.export_jsonl}", file=sys.stderr)
+    if args.export_csv:
+        engine.write_csv(args.export_csv)
+        print(f"wrote {args.export_csv}", file=sys.stderr)
+    if args.prometheus:
+        with open(args.prometheus, "w") as handle:
+            handle.write(engine.to_prometheus(labels={
+                "system": args.system, "scenario": args.scenario,
+            }))
+        print(f"wrote {args.prometheus}", file=sys.stderr)
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from repro.faults.chaos import run_chaos
 
@@ -424,6 +484,11 @@ def cmd_chaos(args) -> int:
         from repro.obs.mastery import DecisionLedger
 
         ledger = DecisionLedger()
+    slo = None
+    if args.slo:
+        from repro.obs import SloEngine
+
+        slo = SloEngine()
     report = run_chaos(
         args.system,
         args.scenario,
@@ -434,6 +499,7 @@ def cmd_chaos(args) -> int:
         seed=args.seed,
         obs=obs,
         ledger=ledger,
+        slo=slo,
         defenses=args.defenses,
     )
     print_table(
@@ -461,6 +527,11 @@ def cmd_chaos(args) -> int:
                 "hedges_launched", "hedge_wins"):
         if detector.get(key):
             summary.append([key.replace("_", " "), f"{detector[key]:,}"])
+    for key in ("detection_latency_ms", "quarantine_ms"):
+        if key in detector:
+            summary.append(
+                [key[:-3].replace("_", " "), f"{detector[key]:,.2f} ms"]
+            )
     for at_ms, kind, site in report.fault_events:
         summary.append([f"{kind} site{site}", f"at {at_ms:g} ms"])
     print_table("chaos summary", ["metric", "value"], summary)
@@ -497,6 +568,10 @@ def cmd_chaos(args) -> int:
                     ["event", "at ms", "re-converged in"],
                     rows,
                 )
+    if args.slo:
+        from repro.bench.report import print_slo
+
+        print_slo(report.result)
     if args.out:
         report.write_csv(args.out)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -524,6 +599,7 @@ def _chaos_matrix(args, systems, scenarios) -> int:
             bucket_ms=args.bucket,
             seed=args.seed,
             mastery=args.masters,
+            slo=args.slo,
             defenses=args.defenses,
         )
     except (SpecExecutionError, ValueError) as exc:
@@ -531,16 +607,24 @@ def _chaos_matrix(args, systems, scenarios) -> int:
         return 2
     rows = []
     headers = ["system", "scenario", "commits", "aborts", "steady/s",
-               "min/s", "final/s", "p99 ms", "recovered"]
+               "min/s", "final/s", "p99 ms", "detect ms", "quarant ms",
+               "recovered"]
     if args.masters:
         headers += ["locality", "converged"]
+    if args.slo:
+        headers += ["incidents", "TP", "FP", "MTTD ms"]
     for (system, scenario), report in reports.items():
         aborts = sum(report.aborts_by_reason.values())
+        detector = report.result.metrics.detector_counters
         row = [
             system, scenario, report.commits, aborts,
             f"{report.steady_rate():,.0f}", f"{report.min_rate():,.0f}",
             f"{report.final_rate():,.0f}",
             f"{report.result.metrics.latency().p99:,.2f}",
+            "-" if "detection_latency_ms" not in detector
+            else f"{detector['detection_latency_ms']:,.1f}",
+            "-" if "quarantine_ms" not in detector
+            else f"{detector['quarantine_ms']:,.0f}",
             "yes" if report.recovered() else "NO",
         ]
         if args.masters:
@@ -554,6 +638,18 @@ def _chaos_matrix(args, systems, scenarios) -> int:
                     f"{summary['locality_share']:.1%}",
                     "never" if converged < 0 else f"{converged:,.0f} ms",
                 ]
+        if args.slo:
+            verdict = getattr(report.result, "slo", None) or {}
+            if verdict:
+                mttd = verdict["mttd_mean_ms"]
+                row += [
+                    int(verdict["incidents"]),
+                    int(verdict["true_positives"]),
+                    int(verdict["false_positives"]),
+                    "n/a" if mttd < 0 else f"{mttd:,.0f}",
+                ]
+            else:
+                row += ["-", "-", "-", "-"]
         rows.append(row)
     print_table(
         f"chaos matrix: {len(systems)} system(s) x {len(scenarios)} "
@@ -592,10 +688,15 @@ def cmd_perf(args) -> int:
                 out=out,
                 baseline_path=baseline,
                 jobs=args.jobs,
+                render_tables=args.render_tables,
             )
         except (OSError, ValueError) as exc:
             print(f"repro perf --scale: error: {exc}", file=sys.stderr)
             return 2
+    if args.render_tables:
+        print("repro perf: error: --render-tables requires --scale",
+              file=sys.stderr)
+        return 2
 
     try:
         return perf.main(
@@ -748,6 +849,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--masters", action="store_true",
                        help="attach the decision ledger and report mastering "
                             "re-convergence after each fault transition")
+    chaos.add_argument("--slo", action="store_true",
+                       help="attach the streaming SLO engine: incident "
+                            "ledger and MTTD/MTTR per run (matrix runs get "
+                            "incident/TP/FP columns)")
     from repro.faults.chaos import DEFENSES
 
     chaos.add_argument("--defenses", choices=DEFENSES, default="fixed",
@@ -756,6 +861,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "(phi-accrual detection, adaptive deadlines, "
                             "hedged reads, health-aware remastering)")
     chaos.set_defaults(fn=cmd_chaos)
+
+    slo = commands.add_parser(
+        "slo", help="run one system SLO-monitored and report incidents, "
+                    "invariants, and MTTD/MTTR vs injected faults"
+    )
+    slo.add_argument("--system", choices=ALL_SYSTEMS, default="dynamast")
+    slo.add_argument("--scenario", choices=SCENARIOS + ("none",),
+                     default="fail_slow_master",
+                     help="fault scenario ('none' runs unfaulted: every "
+                          "incident is then a false positive)")
+    slo.add_argument("--sites", type=int, default=3)
+    slo.add_argument("--clients", type=int, default=16)
+    slo.add_argument("--duration", type=float, default=10_000.0,
+                     help="simulated milliseconds")
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--window", type=float, default=250.0,
+                     help="tumbling SLO window, simulated ms")
+    slo.add_argument("--quick", action="store_true",
+                     help="2-window baseline calibration for short smoke "
+                          "runs (default: 4 windows)")
+    slo.add_argument("--html", default="",
+                     help="write a self-contained HTML dashboard")
+    slo.add_argument("--export-jsonl", default="",
+                     help="write the incident ledger and window series "
+                          "(repro-slo/1 JSONL)")
+    slo.add_argument("--export-csv", default="",
+                     help="write incidents and violations as CSV")
+    slo.add_argument("--prometheus", default="",
+                     help="write the verdict counters in Prometheus text "
+                          "exposition format")
+    slo.add_argument("--defenses", choices=DEFENSES, default="adaptive",
+                     help="gray-failure defense preset (default: "
+                          "%(default)s — SLO runs usually study the "
+                          "defended stack)")
+    slo.set_defaults(fn=cmd_slo)
 
     from repro.bench.perf import DEFAULT_REPORT, DEFAULT_TOLERANCE
 
@@ -770,6 +910,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                            "--check compares fingerprints exactly)")
     perf.add_argument("--smoke", action="store_true",
                       help="with --scale: the cheap per-system subset")
+    perf.add_argument("--render-tables", action="store_true",
+                      help="with --scale: print the committed report's knee "
+                           "tables as markdown and exit (no runs; the "
+                           "source for EXPERIMENTS.md / docs/SCALE.md)")
     perf.add_argument("--check", action="store_true",
                       help="compare against the committed report instead of "
                            "writing; exit 1 on regression")

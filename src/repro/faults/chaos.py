@@ -261,6 +261,7 @@ def run_chaos(
     plan: Optional[FaultPlan] = None,
     obs=None,
     ledger=None,
+    slo=None,
     defenses: str = "fixed",
 ) -> ChaosReport:
     """Run ``scenario`` against ``system_name`` and report availability.
@@ -274,8 +275,11 @@ def run_chaos(
     dip; passing ``ledger`` (a :class:`~repro.obs.mastery.
     DecisionLedger`) records remaster decisions so
     :meth:`ChaosReport.mastering_summary` can report re-convergence
-    after each fault transition. ``defenses`` selects the gray-failure
-    defense preset (see :func:`defense_setup`).
+    after each fault transition; passing ``slo`` (an
+    :class:`~repro.obs.slo.SloEngine`) evaluates SLO and invariant
+    monitors over the run and correlates incidents against the
+    scenario's injected fault windows. ``defenses`` selects the
+    gray-failure defense preset (see :func:`defense_setup`).
     """
     if plan is None:
         plan = build_scenario(scenario, num_sites=num_sites, duration_ms=duration_ms)
@@ -296,6 +300,7 @@ def run_chaos(
         fault_plan=plan,
         obs=obs,
         ledger=ledger,
+        slo=slo,
     )
     return report_from_result(
         result, scenario,
@@ -365,6 +370,7 @@ def run_chaos_matrix(
     seed: int = 0,
     workload: Optional[WorkloadSpec] = None,
     mastery: bool = False,
+    slo: bool = False,
     defenses: str = "fixed",
 ) -> "Dict[Tuple[str, str], ChaosReport]":
     """Fan a (system x scenario) chaos matrix over worker processes.
@@ -377,7 +383,9 @@ def run_chaos_matrix(
     same specs serially in-process. ``defenses`` selects the
     gray-failure defense preset for every cell (see
     :func:`defense_setup`); the resolved RPC config and strategy
-    weights travel to the workers as plain spec data.
+    weights travel to the workers as plain spec data. ``slo=True``
+    evaluates the default SLO and invariant monitors in every cell;
+    the folded verdict rides back on each summary's ``slo`` dict.
     """
     workload = workload or chaos_workload_spec()
     rpc, weights = defense_setup(defenses, workload.build())
@@ -394,6 +402,7 @@ def run_chaos_matrix(
             seed=seed,
             fault_scenario=scenario,
             mastery=mastery,
+            slo=slo,
             label=f"chaos:{system}/{scenario}",
         )
         for system, scenario in combos

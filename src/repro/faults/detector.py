@@ -60,20 +60,41 @@ class _SuspicionCounters:
         #: need to know *when* suspicion tripped, not just how often.
         #: Times are 0.0 when no clock was injected.
         self.episodes: list = []
+        #: Total duration (ms) of *closed* suspicion episodes; open
+        #: episodes are added by :meth:`suspicion_time_ms`.
+        self.suspicion_ms = 0.0
+        self._episode_started: Dict[int, float] = {}
 
     def _suspect(self, site: int) -> None:
         if site in self._suspected:
             return
+        now = self._clock() if self._clock is not None else 0.0
         self._suspected.add(site)
         self.suspicion_episodes += 1
-        self.episodes.append(
-            (self._clock() if self._clock is not None else 0.0, site)
-        )
+        self.episodes.append((now, site))
+        self._episode_started[site] = now
         if self._ground_truth is not None and not self._ground_truth(site):
             self.false_suspicions += 1
 
     def _unsuspect(self, site: int) -> None:
+        if site in self._suspected:
+            started = self._episode_started.pop(site, None)
+            if started is not None and self._clock is not None:
+                self.suspicion_ms += max(0.0, self._clock() - started)
         self._suspected.discard(site)
+
+    def suspicion_time_ms(self, now: Optional[float] = None) -> float:
+        """Total simulated time spent suspected, across all sites.
+
+        Closed episodes always count; passing ``now`` also counts the
+        elapsed portion of still-open episodes — the quarantine
+        duration a gray-failure sweep reports at end of run.
+        """
+        total = self.suspicion_ms
+        if now is not None:
+            for started in self._episode_started.values():
+                total += max(0.0, now - started)
+        return total
 
     @property
     def suspected(self) -> Set[int]:

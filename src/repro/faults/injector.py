@@ -28,7 +28,7 @@ by the bench harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.faults.deadlines import DeadlineTracker
 from repro.faults.detector import AdaptiveDetector, FailureDetector
@@ -178,16 +178,47 @@ class FaultInjector:
     def hedge_delay_ms(self, dst: int) -> float:
         return self.deadlines.hedge_delay_ms(dst)
 
-    def detector_counters(self) -> Dict[str, int]:
+    def detector_counters(self) -> Dict[str, float]:
         """Detector/hedging counters for the run report and exports
-        (mirrors the selector_counters fold in the bench harness)."""
-        return {
+        (mirrors the selector_counters fold in the bench harness).
+
+        ``quarantine_ms`` (total simulated time sites spent suspected,
+        open episodes counted through "now") and
+        ``detection_latency_ms`` (first suspicion at/after the plan's
+        first fault onset, minus that onset) are present only when
+        they are defined — no episodes, or no fault ever detected,
+        omits them so report/CSV schemas stay stable across runs.
+        """
+        counters: Dict[str, float] = {
             "suspicion_episodes": self.detector.suspicion_episodes,
             "false_suspicions": self.detector.false_suspicions,
             "suspected_sites": len(self.detector.suspected),
             "hedges_launched": self.hedges_launched,
             "hedge_wins": self.hedge_wins,
         }
+        if self.detector.suspicion_episodes:
+            counters["quarantine_ms"] = round(
+                self.detector.suspicion_time_ms(self.cluster.env.now), 6
+            )
+            latency = self.detection_latency_ms()
+            if latency is not None:
+                counters["detection_latency_ms"] = round(latency, 6)
+        return counters
+
+    def detection_latency_ms(self) -> Optional[float]:
+        """Delay from the plan's first fault onset to the first
+        suspicion episode at/after it; ``None`` if the plan is empty
+        or no episode followed the onset."""
+        onsets = [crash.at_ms for crash in self.plan.crashes]
+        onsets.extend(slow.start_ms for slow in self.plan.slowdowns)
+        onsets.extend(link.start_ms for link in self.plan.links)
+        if not onsets:
+            return None
+        first_onset = min(onsets)
+        tripped = [at for at, _ in self.detector.episodes if at >= first_onset]
+        if not tripped:
+            return None
+        return min(tripped) - first_onset
 
     # -- link state (consulted by Network.leg_lost / leg_delay) -----------
 

@@ -272,6 +272,37 @@ class FaultPlan:
                 )
 
 
+def fault_windows(
+    plan: FaultPlan, duration_ms: float
+) -> List[Tuple[str, int, float, float]]:
+    """Ground-truth ``(kind, site, start_ms, end_ms)`` windows of a plan.
+
+    The run-relative intervals each fault is actually active, clamped
+    to the run: a crash without a restart extends to ``duration_ms``,
+    and windows starting at/after the end of the run are dropped. Link
+    faults are attributed to their data-site end (the front end never
+    fails itself). This is the join key the SLO engine's incident
+    correlation uses (MTTD/MTTR against injected truth), so it lives
+    next to the plan rather than the observer.
+    """
+    windows: List[Tuple[str, int, float, float]] = []
+    for crash in plan.crashes:
+        end = crash.restart_at_ms if crash.restart_at_ms is not None else duration_ms
+        windows.append(("crash", crash.site, crash.at_ms, min(end, duration_ms)))
+    for slow in plan.slowdowns:
+        windows.append(
+            ("slow", slow.site, slow.start_ms, min(slow.end_ms, duration_ms))
+        )
+    for link in plan.links:
+        site = link.dst if link.src == FRONTEND else link.src
+        windows.append(
+            ("link", site, link.start_ms, min(link.end_ms, duration_ms))
+        )
+    windows = [w for w in windows if w[3] > w[2]]
+    windows.sort(key=lambda w: (w[2], w[3], w[0], w[1]))
+    return windows
+
+
 #: Named scenarios for ``repro chaos`` / ``make chaos`` /
 #: ``make chaos-gray``. The first four are fail-stop/binary; the last
 #: four are the gray-failure scenarios (fail-slow, degraded links,

@@ -10,6 +10,13 @@ observed run:
 * :class:`~repro.obs.sampler.TimelineSampler` — periodic per-site
   timelines (CPU, lock depth, replication lag, 2PC in flight).
 
+A fourth, separately attached instrument —
+:class:`~repro.obs.slo.SloEngine` — watches the same transaction
+stream through windowed SLO monitors and runtime invariant checks,
+turning sustained breaches into an :class:`~repro.obs.slo.Incident`
+ledger correlated against injected fault windows. Its no-op default is
+:data:`~repro.obs.slo.NULL_SLO`.
+
 The default everywhere is :data:`NULL_OBS`, whose tracer is a no-op and
 whose sampler never starts: an unobserved run schedules no extra
 simulation events and produces bit-identical results to a build without
@@ -39,6 +46,7 @@ from repro.obs.causal import (
     critical_path,
     path_categories,
 )
+from repro.obs.dashboard import render_dashboard, write_dashboard
 from repro.obs.export import (
     flame_summary,
     reconcile_with_metrics,
@@ -62,6 +70,15 @@ from repro.obs.mastery import (
 )
 from repro.obs.registry import Counter, Gauge, MetricsRegistry, StreamingHistogram
 from repro.obs.sampler import Timeline, TimelineSampler, attach_cluster_probes
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    NULL_SLO,
+    Incident,
+    NullSloEngine,
+    SloEngine,
+    SloSpec,
+    quick_slos,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     EdgeRecord,
@@ -75,9 +92,11 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CATEGORIES",
+    "DEFAULT_SLOS",
     "EDGE_KINDS",
     "NULL_LEDGER",
     "NULL_OBS",
+    "NULL_SLO",
     "NULL_TRACER",
     "AttributionError",
     "AttributionReport",
@@ -87,16 +106,20 @@ __all__ = [
     "DecisionRecord",
     "EdgeRecord",
     "Gauge",
+    "Incident",
     "InstantRecord",
     "MastershipTimeline",
     "MetricsRegistry",
     "NullLedger",
+    "NullSloEngine",
     "NullTracer",
     "Observability",
     "OwnershipChange",
     "OwnershipInterval",
     "PathSegment",
     "RateWindow",
+    "SloEngine",
+    "SloSpec",
     "SpanNode",
     "SpanRecord",
     "StreamingHistogram",
@@ -110,10 +133,13 @@ __all__ = [
     "diff_reports",
     "flame_summary",
     "path_categories",
+    "quick_slos",
     "reconcile_with_metrics",
     "recompute_decision",
+    "render_dashboard",
     "render_decision",
     "render_waterfall",
+    "write_dashboard",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",

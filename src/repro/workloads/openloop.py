@@ -240,6 +240,23 @@ class OpenLoopEngine:
             for _slot in range(self.spec.admission_concurrency):
                 self.env.process(self._dispatcher(site))
 
+    def attach_probes(self, sampler) -> None:
+        """Register per-site admission depth/shed timeline probes.
+
+        Observed runs sample these alongside the standard cluster
+        probes, turning the end-of-run aggregate counters into the
+        *time series* the SLO dashboard and saturation analyses need.
+        Probes close over the queue objects and read pure state, so an
+        observed run's simulated outcome is unchanged.
+        """
+        for index, queue in enumerate(self.queues):
+            sampler.add_probe(
+                f"admission_depth.site{index}", lambda q=queue: float(len(q))
+            )
+            sampler.add_probe(
+                f"admission_shed.site{index}", lambda q=queue: float(q.shed)
+            )
+
     def _arrival_loop(self, duration_ms: float):
         env = self.env
         spec = self.spec

@@ -235,6 +235,71 @@ class TestChaosCommand:
         output = capsys.readouterr().out
         assert "chaos matrix" in output
         assert "locality" in output and "converged" in output
+        assert "detect ms" in output and "quarant ms" in output
+
+    def test_chaos_slo_serial_prints_the_verdict(self, capsys):
+        code = main([
+            "chaos", "--system", "dynamast", "--scenario", "crash",
+            "--duration", "900", "--bucket", "300", "--clients", "4",
+            "--slo",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SLO objectives" in output
+        assert "SLO verdict" in output
+        assert "detection latency" in output or "quarantine" in output
+
+    def test_chaos_matrix_slo_columns(self, capsys):
+        code = main([
+            "chaos", "--systems", "dynamast,single-master",
+            "--scenarios", "crash", "--duration", "600", "--bucket", "300",
+            "--clients", "2", "--jobs", "2", "--slo",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "chaos matrix" in output
+        assert "incidents" in output and "MTTD ms" in output
+
+
+class TestSloCommand:
+    def test_slo_run_reports_and_exports(self, capsys, tmp_path):
+        html = tmp_path / "dash.html"
+        jsonl = tmp_path / "slo.jsonl"
+        csv = tmp_path / "slo.csv"
+        prom = tmp_path / "slo.prom"
+        code = main([
+            "slo", "--scenario", "fail_slow_master", "--duration", "2000",
+            "--clients", "8", "--quick",
+            "--html", str(html), "--export-jsonl", str(jsonl),
+            "--export-csv", str(csv), "--prometheus", str(prom),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "repro slo: dynamast under fail_slow_master" in output
+        assert "SLO objectives" in output
+        assert "fault correlation" in output
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        assert jsonl.read_text().startswith('{"')
+        assert csv.read_text().startswith("kind,objective")
+        assert "repro_slo_incidents_total" in prom.read_text()
+
+    def test_slo_unfaulted_scenario_none(self, capsys):
+        code = main([
+            "slo", "--scenario", "none", "--duration", "1500",
+            "--clients", "4", "--quick",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SLO verdict" in output
+
+    def test_slo_rejects_bad_window(self, capsys):
+        code = main(["slo", "--window", "0"])
+        assert code == 2
+        assert "--window must be positive" in capsys.readouterr().err
+
+    def test_slo_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["slo", "--scenario", "meteor"])
 
 
 ARGS_MASTERS = [

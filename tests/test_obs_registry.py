@@ -259,6 +259,72 @@ class TestPrometheusExposition:
             assert covering[0] >= 1
 
 
+class TestPrometheusEdgeCases:
+    def test_labels_on_an_empty_registry_render_nothing(self):
+        # Labels decorate samples; they must not fabricate any.
+        assert MetricsRegistry().to_prometheus({"system": "dynamast"}) == ""
+
+    def test_literal_backslash_n_differs_from_real_newline(self):
+        # A value containing backslash+n and one containing an actual
+        # newline must stay distinguishable after escaping: the former
+        # becomes \\n (escaped backslash, literal n), the latter \n.
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        literal = registry.to_prometheus({"v": "a\\nb"})
+        newline = registry.to_prometheus({"v": "a\nb"})
+        assert literal != newline
+        assert 'v="a\\\\nb"' in literal
+        assert 'v="a\\nb"' in newline
+        assert "\n".join((literal, newline)).count("a") == 2  # one line each
+
+    def test_registered_but_untouched_instruments_expose_zero(self):
+        # A zero sample is a measurement; a missing series is not.
+        registry = MetricsRegistry()
+        registry.counter("commits")
+        registry.gauge("inflight")
+        text = registry.to_prometheus()
+        assert "commits 0" in text
+        assert "inflight 0" in text
+
+    def test_never_recorded_histogram_still_exposes_a_schema(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat")
+        rows = parse_exposition(registry.to_prometheus())
+        values = {(name, labels): value for name, labels, value in rows}
+        # No finite buckets (nothing recorded, underflow suppressed),
+        # but the +Inf bucket, sum, and count must still be present.
+        assert values[("lat_bucket", '{le="+Inf"}')] == "0"
+        assert float(values[("lat_sum", "")]) == 0.0
+        assert values[("lat_count", "")] == "0"
+        bucket_lines = [name for name, _, _ in rows if name == "lat_bucket"]
+        assert bucket_lines == ["lat_bucket"]
+
+    def test_le_merges_and_sorts_with_caller_labels(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", base=1.0, growth=2.0)
+        histogram.record(0.5)   # underflow bucket at le=base
+        histogram.record(3.0)
+        text = registry.to_prometheus({"zz_site": "0", "aa_run": 'q"x'})
+        for name, labels, _ in parse_exposition(text):
+            if name != "lat_bucket":
+                continue
+            # le slots into the sorted label list, escaping intact.
+            assert labels.startswith('{aa_run="q\\"x",le="')
+            assert labels.endswith('zz_site="0"}')
+        pairs = bucket_series(text, "lat")
+        assert pairs[0][0] == 1.0  # underflow rendered at le=base
+        assert [count for _, count in pairs] == sorted(
+            count for _, count in pairs
+        )
+        assert pairs[-1] == (math.inf, 2)
+
+    def test_underflow_only_histogram_keeps_cumulative_consistent(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", base=10.0, growth=2.0).record(0.25)
+        pairs = bucket_series(registry.to_prometheus(), "lat")
+        assert pairs == [(10.0, 1), (math.inf, 1)]
+
+
 class TestMetricsToPrometheus:
     def make_txn(self, kind="rmw"):
         return Transaction(kind, 0, write_set=(("t", 1),))

@@ -6,16 +6,23 @@ these tests pin the pure logic around it: spec flattening, knee
 finding, and the check gates.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.scale import (
     KNEE_THRESHOLD,
     SCALE_MATRIX,
     SMOKE_CASES,
+    _first_collapsed,
     check_report,
     find_knee,
+    knee_tables,
+    load_report,
+    render_tables,
     select_cases,
 )
+from repro.bench.scale import main as scale_main
 
 
 def point(multiplier, offered, ratio, fingerprint="f0", rss_kb=1000):
@@ -103,3 +110,86 @@ class TestCheck:
         pinned = self.wrap([point(1, 100, 0.99)])
         failures = check_report(fresh, pinned)
         assert len(failures) == 1 and "ladder length" in failures[0]
+
+
+class TestFirstCollapsed:
+    def test_first_sub_threshold_rung_past_the_knee(self):
+        points = [point(1, 100, 0.99), point(2, 200, 0.95),
+                  point(4, 400, 0.80)]
+        knee = points[1]
+        collapsed = _first_collapsed(points, knee, 0.9)
+        assert collapsed is points[2]
+
+    def test_pre_knee_dips_are_not_collapse(self):
+        points = [point(1, 100, 0.85), point(2, 200, 0.95)]
+        assert _first_collapsed(points, points[1], 0.9) is None
+
+    def test_none_ratio_counts_as_collapsed(self):
+        points = [point(1, 100, 0.99), point(2, 200, None)]
+        assert _first_collapsed(points, points[0], 0.9) is points[1]
+
+    def test_no_knee_blames_the_first_failing_rung(self):
+        points = [point(1, 100, 0.5)]
+        assert _first_collapsed(points, None, 0.9) is points[0]
+
+
+class TestRenderTables:
+    """The committed BENCH_scale.json is the single source of the knee
+    tables; EXPERIMENTS.md and docs/SCALE.md embed the rendered output
+    verbatim, and these pins keep them from drifting."""
+
+    @pytest.fixture(scope="class")
+    def tables(self):
+        root = Path(__file__).resolve().parent.parent
+        return knee_tables(load_report(str(root / "BENCH_scale.json")))
+
+    def test_experiments_md_embeds_the_summary_table(self, tables):
+        root = Path(__file__).resolve().parent.parent
+        text = (root / "EXPERIMENTS.md").read_text()
+        assert tables["summary"] in text
+
+    def test_scale_md_embeds_detail_and_flagship_tables(self, tables):
+        root = Path(__file__).resolve().parent.parent
+        text = (root / "docs" / "SCALE.md").read_text()
+        assert tables["detail"] in text
+        assert tables["dynamast-diurnal-16x100k"] in text
+
+    def test_knee_rows_are_bolded(self, tables):
+        assert "**" in tables["detail"]
+        flagship = tables["dynamast-diurnal-16x100k"]
+        bolded = [line for line in flagship.splitlines() if "**" in line]
+        assert len(bolded) == 1  # exactly the knee rung
+
+    def test_render_tables_emits_one_document(self):
+        root = Path(__file__).resolve().parent.parent
+        report = load_report(str(root / "BENCH_scale.json"))
+        document = render_tables(report)
+        assert document.startswith("<!-- generated by `repro perf --scale")
+        for fragment in knee_tables(report).values():
+            assert fragment in document
+
+    def test_main_render_tables_path_runs_nothing(self):
+        root = Path(__file__).resolve().parent.parent
+        emitted = []
+        code = scale_main(
+            render_tables=True,
+            baseline_path=str(root / "BENCH_scale.json"),
+            emit=emitted.append,
+        )
+        assert code == 0
+        assert len(emitted) == 1
+        assert "Per-system knees (EXPERIMENTS.md):" in emitted[0]
+
+    def test_synthetic_ladder_case_without_knee(self):
+        report = {
+            "cases": {
+                "tiny-constant-8x20k": {
+                    "system": "tiny",
+                    "points": [point(1, 100, 0.5)],
+                    "knee": None,
+                },
+            },
+        }
+        tables = knee_tables(report)
+        assert "| tiny | none | x1: ratio 0.50 |" in tables["summary"]
+        assert "| tiny | none | - | x1 = 100/s | 0.50 |" in tables["detail"]
