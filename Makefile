@@ -1,10 +1,13 @@
 # Convenience targets for the DynaMast reproduction.
 
-.PHONY: install test lint bench examples quick chaos chaos-gray explain-smoke masters-smoke slo-smoke perf perf-check scale scale-smoke clean
+.PHONY: install test test-output lint bench bench-output examples quick chaos chaos-gray explain-smoke masters-smoke slo-smoke perf perf-check perf-sweep scale scale-smoke clean
 
 # Worker processes for parallel-capable targets (perf, test with
 # pytest-xdist installed). 1 = classic serial behavior.
 JOBS ?= 1
+
+# Top jobs level for the perf-sweep target (sweep runs {1, 2, CORES}).
+CORES ?= 2
 
 install:
 	pip install -e . || python setup.py develop
@@ -142,6 +145,13 @@ perf:
 # calibration-normalizing for host speed.
 perf-check:
 	python -m repro perf --check --quick
+
+# Multi-core sweep: the full matrix at jobs levels {1, 2, CORES} with
+# fingerprint parity enforced between levels; refreshes BENCH_perf.json
+# including the machine.parallel.sweep block (EXPERIMENTS.md, Parallel
+# execution). CORES=n picks the top level.
+perf-sweep:
+	python -m repro perf --cores $(CORES)
 
 # Full open-loop saturation matrix; refreshes BENCH_scale.json with
 # every system's knee ladder plus the flagship 16-site / 100k-client /

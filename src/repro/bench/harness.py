@@ -309,20 +309,20 @@ def _client_loop(system, workload, client_id, rng, metrics, warmup_ms, obs):
     state = workload.new_client_state(client_id, rng)
     session = system.new_session(client_id)
     while True:
-        turn = workload.next_transaction(state, rng, env.now)
+        turn = workload.next_transaction(state, rng, env._now)
         if turn.reset_session:
             session = system.new_session(client_id)
-        started = env.now
+        started = env._now
         tracer.txn_begin(turn.txn, started)
         outcome = yield from system.submit(turn.txn, session)
         recorded = started >= warmup_ms
         if recorded:
-            metrics.record(turn.txn, outcome, env.now - started, env.now)
+            metrics.record(turn.txn, outcome, env._now - started, env._now)
             if obs.enabled and outcome.committed:
                 obs.registry.histogram(
                     f"latency.{turn.txn.txn_type}"
-                ).record(env.now - started)
-        tracer.txn_end(turn.txn, outcome, env.now, recorded=recorded)
+                ).record(env._now - started)
+        tracer.txn_end(turn.txn, outcome, env._now, recorded=recorded)
 
 
 def _fire_event(env, when, fn, system, workload):

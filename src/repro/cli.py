@@ -709,8 +709,11 @@ def cmd_perf(args) -> int:
             tolerance=args.tolerance,
             repeats=args.repeats,
             jobs=args.jobs,
+            cores=args.cores or None,
+            smoke=args.smoke,
+            profile=args.profile,
         )
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, RuntimeError) as exc:
         print(f"repro perf: error: {exc}", file=sys.stderr)
         return 2
 
@@ -909,7 +912,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                            "(BENCH_scale.json: knees + RSS budgets; "
                            "--check compares fingerprints exactly)")
     perf.add_argument("--smoke", action="store_true",
-                      help="with --scale: the cheap per-system subset")
+                      help="the CI shape: quick subset at one repeat "
+                           "(with --scale: the cheap per-system subset)")
     perf.add_argument("--render-tables", action="store_true",
                       help="with --scale: print the committed report's knee "
                            "tables as markdown and exit (no runs; the "
@@ -934,6 +938,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="worker processes for the matrix; per-case walls "
                            "are still measured inside each worker, so "
                            "--check bands stay meaningful")
+    perf.add_argument("--cores", type=int, default=0,
+                      help="run the multi-core sweep at jobs levels "
+                           "{1, 2, N}; records machine.parallel.sweep "
+                           "(elapsed / fan-out speedup / efficiency per "
+                           "level) with fingerprint parity enforced")
+    perf.add_argument("--profile", action="store_true",
+                      help="cProfile each selected case once and write "
+                           "BENCH_perf_profile.txt next to the report "
+                           "instead of running the matrix")
     perf.set_defaults(fn=cmd_perf)
 
     experiments = commands.add_parser("experiments", help="list figure drivers")

@@ -35,6 +35,12 @@ class PartitionTable:
             partition: PartitionInfo(partition, master, env)
             for partition, master in placement.items()
         }
+        #: Flat partition -> master map mirroring ``_infos``. The
+        #: strategy's scoring loops look masters up per co-access pair;
+        #: one dict index here replaces two method frames through
+        #: :meth:`info`. Kept in sync by :meth:`set_master` (the only
+        #: mutator of ``PartitionInfo.master``).
+        self.masters: Dict[int, int] = dict(placement)
 
     def __len__(self) -> int:
         return len(self._infos)
@@ -50,6 +56,7 @@ class PartitionTable:
 
     def set_master(self, partition: int, site: int) -> None:
         self.info(partition).master = site
+        self.masters[partition] = site
 
     def masters_of(self, partitions: Iterable[int]) -> Set[int]:
         """Distinct sites mastering the given partitions."""

@@ -119,7 +119,7 @@ class SiteSelector:
         """
         self.ledger = ledger
         if ledger.enabled:
-            ledger.record_placement(self.table.snapshot(), self.env.now)
+            ledger.record_placement(self.table.snapshot(), self.env._now)
 
     # -- write routing (Algorithm 1 driver) ------------------------------------
 
@@ -136,32 +136,32 @@ class SiteSelector:
         env = self.env
         tracer = env.obs.tracer
         traced = tracer.enabled
-        route_started = env.now
+        route_started = env._now
         partitions = sorted(self.scheme.partitions_of(txn.write_set))
-        lock_started = env.now
+        lock_started = env._now
         yield from self.cpu.use(self.config.costs.route_lookup_ms,
                                 txn=txn, track="selector")
         for partition in partitions:
             yield self.table.info(partition).lock.acquire_read()
-        txn.add_timing("selector_lock", env.now - lock_started)
+        txn.add_timing("selector_lock", env._now - lock_started)
         if traced:
-            tracer.span("selector_lock", lock_started, env.now,
+            tracer.span("selector_lock", lock_started, env._now,
                         track="selector", txn=txn)
-        self.statistics.observe(env.now, txn.client_id, partitions)
+        self.statistics.observe(env._now, txn.client_id, partitions)
 
         masters = self.table.masters_of(partitions)
         if len(masters) <= 1:
             site = masters.pop() if masters else 0
             self._register(site, partitions, shared=True)
             if traced:
-                tracer.span("route", route_started, env.now,
+                tracer.span("route", route_started, env._now,
                             track="selector", txn=txn, site=site)
             if self.ledger.enabled:
-                self.ledger.route(env.now, site, 0)
+                self.ledger.route(env._now, site, 0)
             return RouteResult(site, None, tuple(partitions), False)
 
         # Distributed masters: upgrade to exclusive partition locks.
-        decision_started = env.now
+        decision_started = env._now
         for partition in partitions:
             self.table.info(partition).lock.release_read()
         for partition in partitions:
@@ -172,16 +172,16 @@ class SiteSelector:
             # (clients benefit from remastering initiated by clients
             # with common write sets, §III-B).
             site = masters.pop()
-            txn.add_timing("routing", env.now - decision_started)
+            txn.add_timing("routing", env._now - decision_started)
             if traced:
-                tracer.span("routing", decision_started, env.now,
+                tracer.span("routing", decision_started, env._now,
                             track="selector", txn=txn)
             self._register(site, partitions, shared=False)
             if traced:
-                tracer.span("route", route_started, env.now,
+                tracer.span("route", route_started, env._now,
                             track="selector", txn=txn, site=site)
             if self.ledger.enabled:
-                self.ledger.route(env.now, site, 0)
+                self.ledger.route(env._now, site, 0)
             return RouteResult(site, None, tuple(partitions), False)
 
         yield from self.cpu.use(self.config.costs.remaster_decision_ms,
@@ -198,7 +198,7 @@ class SiteSelector:
         decision_seq = None
         if self.ledger.enabled:
             decision_seq = self.ledger.decision(
-                env.now, txn, partitions, decision, self.strategy.weights, moves
+                env._now, txn, partitions, decision, self.strategy.weights, moves
             )
         # Keep exclusive locks only on the partitions actually moving;
         # the rest downgrade to shared so that unrelated transactions on
@@ -215,32 +215,32 @@ class SiteSelector:
         grant_vvs = yield env.all_of(grant_processes)
         min_vv = VersionVector.zeros(self.cluster.num_sites)
         for grant_vv in grant_vvs:
-            min_vv = min_vv.element_max(grant_vv)
+            min_vv.merge(grant_vv)
         for source, group in moves:
             for partition in group:
                 self.table.set_master(partition, destination)
                 if self.ledger.enabled:
-                    self.ledger.ownership(env.now, partition, source,
+                    self.ledger.ownership(env._now, partition, source,
                                           destination, decision_seq)
         moved = sum(len(group) for group in (group for _, group in moves))
         self.remaster_operations += len(moves)
         self.partitions_moved += moved
         self.updates_remastered += 1
-        txn.add_timing("routing", env.now - decision_started)
+        txn.add_timing("routing", env._now - decision_started)
         if traced:
-            tracer.span("routing", decision_started, env.now,
+            tracer.span("routing", decision_started, env._now,
                         track="selector", txn=txn, remastered=True)
             tracer.instant(
-                "remaster", env.now, track="selector", txn=txn,
+                "remaster", env._now, track="selector", txn=txn,
                 destination=destination, partitions_moved=moved,
                 operations=len(moves),
             )
         self._register(destination, partitions, exclusive=moving)
         if traced:
-            tracer.span("route", route_started, env.now,
+            tracer.span("route", route_started, env._now,
                         track="selector", txn=txn, site=destination)
         if self.ledger.enabled:
-            self.ledger.route(env.now, destination, moved)
+            self.ledger.route(env._now, destination, moved)
         return RouteResult(destination, min_vv, tuple(partitions), True, moved)
 
     def _register(
@@ -280,31 +280,31 @@ class SiteSelector:
         tracer = self.env.obs.tracer
         traced = tracer.enabled
         sites = self.cluster.sites
-        release_started = self.env.now
+        release_started = self.env._now
         release_vv = yield from remote_call(
             self.network,
             sites[source].release_mastership(partitions),
             category="remaster",
         )
         if traced:
-            tracer.span("release", release_started, self.env.now,
+            tracer.span("release", release_started, self.env._now,
                         track=f"site{source}", txn=txn,
                         partitions=len(partitions))
-        grant_started = self.env.now
+        grant_started = self.env._now
         grant_vv = yield from remote_call(
             self.network,
             sites[destination].grant_mastership(partitions, release_vv, source=source),
             category="remaster",
         )
         if traced:
-            tracer.span("grant", grant_started, self.env.now,
+            tracer.span("grant", grant_started, self.env._now,
                         track=f"site{destination}", txn=txn,
                         partitions=len(partitions), source=source)
             tracer.edge("remaster", release_started, txn=txn,
                         track="selector", source=source,
                         destination=destination,
                         partitions=len(partitions),
-                        waited=self.env.now - release_started)
+                        waited=self.env._now - release_started)
         return grant_vv
 
     # -- fault-aware write routing ---------------------------------------------
@@ -336,7 +336,7 @@ class SiteSelector:
                                 txn=txn, track="selector")
         for partition in partitions:
             yield self.table.info(partition).lock.acquire_read()
-        self.statistics.observe(env.now, txn.client_id, partitions)
+        self.statistics.observe(env._now, txn.client_id, partitions)
 
         masters = self.table.masters_of(partitions)
         if len(masters) <= 1:
@@ -344,7 +344,7 @@ class SiteSelector:
             if self._healthy(site):
                 self._register(site, partitions, shared=True, token=token)
                 if self.ledger.enabled:
-                    self.ledger.route(env.now, site, 0)
+                    self.ledger.route(env._now, site, 0)
                 return RouteResult(site, None, tuple(partitions), False, token=token)
         # Unhealthy master or distributed write set: exclusive locks on
         # everything, then remaster onto a live destination.
@@ -360,7 +360,7 @@ class SiteSelector:
                     # A concurrent routing already healed this write set.
                     self._register(only, partitions, token=token)
                     if self.ledger.enabled:
-                        self.ledger.route(env.now, only, 0)
+                        self.ledger.route(env._now, only, 0)
                     return RouteResult(
                         only, None, tuple(partitions), False, token=token
                     )
@@ -379,7 +379,7 @@ class SiteSelector:
             self.updates_remastered += 1
         self._register(destination, partitions, token=token)
         if self.ledger.enabled:
-            self.ledger.route(env.now, destination, moved)
+            self.ledger.route(env._now, destination, moved)
         return RouteResult(
             destination,
             min_vv if operations else None,
@@ -429,7 +429,7 @@ class SiteSelector:
             decision_seq = None
             if self.ledger.enabled:
                 decision_seq = self.ledger.decision(
-                    self.env.now, txn, partitions, decision,
+                    self.env._now, txn, partitions, decision,
                     self.strategy.weights, moves, excluded=excluded,
                     health=health,
                 )
@@ -437,14 +437,14 @@ class SiteSelector:
                 target, grant_vv = yield from self._move_faulted(
                     source, group, destination, txn
                 )
-                min_vv = min_vv.element_max(grant_vv)
+                min_vv.merge(grant_vv)
                 for partition in group:
                     self.table.set_master(partition, target)
                     # The grant can fail over to a live site other than
                     # the decision's choice; the timeline records where
                     # mastership actually landed.
                     if self.ledger.enabled:
-                        self.ledger.ownership(self.env.now, partition,
+                        self.ledger.ownership(self.env._now, partition,
                                               source, target, decision_seq)
                 operations += 1
                 moved += len(group)
@@ -523,7 +523,7 @@ class SiteSelector:
         policy = RetryPolicy(faults.rpc, faults.rng)
         timeout_ms = faults.rpc.remaster_timeout_ms
         tracer = env.obs.tracer
-        chain_started = env.now
+        chain_started = env._now
 
         release_vv = None
         failures = 0
@@ -570,7 +570,7 @@ class SiteSelector:
                                 track="selector", source=source,
                                 destination=target,
                                 partitions=len(partitions),
-                                waited=env.now - chain_started)
+                                waited=env._now - chain_started)
                 return target, grant_vv
             except SiteDown:
                 continue  # re-picks a live target
@@ -628,7 +628,7 @@ class SiteSelector:
         out first (falling back to any live site when suspicion covers
         everything).
         """
-        route_started = self.env.now
+        route_started = self.env._now
         yield from self.cpu.use(self.config.costs.route_lookup_ms,
                                 txn=txn, track="selector")
         faults = self.cluster.faults
@@ -660,7 +660,7 @@ class SiteSelector:
         tracer = self.env.obs.tracer
         if tracer.enabled:
             tracer.span(
-                "route", route_started, self.env.now,
+                "route", route_started, self.env._now,
                 track="selector", txn=txn, site=choice,
             )
         return choice

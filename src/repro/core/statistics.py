@@ -140,16 +140,37 @@ class AccessStatistics:
     def _ingest(self, now: float, client_id: int, partitions: Tuple[int, ...]) -> None:
         self._expire(now)
 
+        # The bump loops below are `_bump` inlined (fold is the hottest
+        # statistics path); the additions happen in exactly the same
+        # order with the same +1.0 increments, so the folded state stays
+        # bit-identical to the golden statistics trace.
         writes = self._writes
         for partition in partitions:
-            writes[partition] = writes.get(partition, 0.0) + 1.0
+            if partition in writes:
+                writes[partition] += 1.0
+            else:
+                writes[partition] = 1.0
         self._total += 1.0
         self._mass += float(len(partitions))
 
-        for index, left in enumerate(partitions):
-            for right in partitions[index + 1:]:
-                self._bump(self._intra, left, right, 1.0)
-                self._bump(self._intra, right, left, 1.0)
+        if len(partitions) > 1:
+            intra = self._intra
+            for index, left in enumerate(partitions):
+                for right in partitions[index + 1:]:
+                    row = intra.get(left)
+                    if row is None:
+                        row = intra[left] = {}
+                    if right in row:
+                        row[right] += 1.0
+                    else:
+                        row[right] = 1.0
+                    row = intra.get(right)
+                    if row is None:
+                        row = intra[right] = {}
+                    if left in row:
+                        row[left] += 1.0
+                    else:
+                        row[left] = 1.0
 
         inter_pairs = self._record_inter(now, client_id, partitions)
         self._retained.append(_Sample(now, client_id, partitions, inter_pairs))
@@ -161,26 +182,41 @@ class AccessStatistics:
     ) -> Tuple[Tuple[int, int], ...]:
         """Pair this write set with the client's recent ones within Δt."""
         window = self.config.inter_txn_window_ms
-        recent = self._recent.setdefault(client_id, deque())
-        while recent and recent[0][0] < now - window:
+        recent = self._recent.get(client_id)
+        if recent is None:
+            recent = self._recent[client_id] = deque()
+        horizon = now - window
+        while recent and recent[0][0] < horizon:
             recent.popleft()
         pairs: List[Tuple[int, int]] = []
+        append = pairs.append
         cap = self.config.max_inter_pairs
+        inter = self._inter
+        count = 0
         # Break out of the whole pairing once the cap is reached (the
-        # eager version kept iterating while contributing nothing).
-        full = len(pairs) >= cap
+        # eager version kept iterating while contributing nothing). The
+        # bump is `_bump` inlined; a row is only created when a pair is
+        # actually added, so the inter table's keys are unchanged.
+        full = cap <= 0
         for _, previous in recent:
             if full:
                 break
             for earlier in previous:
                 if full:
                     break
+                row = inter.get(earlier)
                 for later in partitions:
                     if earlier == later:
                         continue
-                    self._bump(self._inter, earlier, later, 1.0)
-                    pairs.append((earlier, later))
-                    if len(pairs) >= cap:
+                    if row is None:
+                        row = inter[earlier] = {}
+                    if later in row:
+                        row[later] += 1.0
+                    else:
+                        row[later] = 1.0
+                    append((earlier, later))
+                    count += 1
+                    if count >= cap:
                         full = True
                         break
         recent.append((now, partitions))
@@ -188,8 +224,14 @@ class AccessStatistics:
 
     @staticmethod
     def _bump(table: Dict[int, Dict[int, float]], left: int, right: int, amount: float) -> None:
-        row = table.setdefault(left, {})
-        row[right] = row.get(right, 0.0) + amount
+        """Reference single-pair bump (the fold loops inline this)."""
+        row = table.get(left)
+        if row is None:
+            row = table[left] = {}
+        if right in row:
+            row[right] += amount
+        else:
+            row[right] = amount
 
     # -- expiry -----------------------------------------------------------------
 

@@ -177,9 +177,10 @@ class RemasterStrategy:
     ) -> float:
         """Equations 2-4: change in balance, scaled by current imbalance."""
         after = list(loads)
+        masters = self.table.masters
         for partition in write_partitions:
             weight = self.statistics.access_fraction(partition)
-            current = self.table.master_of(partition)
+            current = masters[partition]
             if current != candidate:
                 after[current] -= weight
                 after[candidate] += weight
@@ -201,11 +202,15 @@ class RemasterStrategy:
             return 0.0
         required = None
         for vector in source_vvs:
-            required = vector.copy() if required is None else required.element_max(vector)
+            if required is None:
+                required = vector.copy()
+            else:
+                required.merge(vector)
         if session_vv is not None:
-            required = (
-                session_vv.copy() if required is None else required.element_max(session_vv)
-            )
+            if required is None:
+                required = session_vv.copy()
+            else:
+                required.merge(session_vv)
         return float(candidate_vv.lag_behind(required))
 
     def _localization_feature(
@@ -218,16 +223,37 @@ class RemasterStrategy:
         """Equations 6-7: co-access-weighted single-sitedness change."""
         write_set = set(write_partitions)
         score = 0.0
+        # Fused form of the probability calls: ``partners(first)`` is the
+        # same co-access row ``probability(first, second)`` divides out
+        # of, so iterating its items and dividing by the base mass here
+        # produces bit-identical likelihoods (same operands, same order)
+        # without re-looking the row up per pair. ``partners`` folds any
+        # pending sample, so the raw ``_writes`` read below is current.
+        stat_writes = self.statistics._writes
+        masters = self.table.masters
         for first in write_partitions:
-            for second in partners(first):
+            row = partners(first)
+            if not row:
+                continue
+            base = stat_writes.get(first, 0.0)
+            if base <= 0:
+                continue
+            first_master = masters[first]
+            for second, count in row.items():
                 if second == first:
                     continue
-                likelihood = probability(first, second)
+                likelihood = count / base
                 if likelihood <= 0.0:
                     continue
-                score += likelihood * self._single_sited(
-                    candidate, first, second, write_set
-                )
+                # Inlined _single_sited (per-pair method call is the
+                # scoring loop's hottest edge).
+                second_master = masters[second]
+                second_after = candidate if second in write_set else second_master
+                if candidate == second_after:
+                    if first_master != second_master:
+                        score += likelihood
+                elif first_master == second_master:
+                    score -= likelihood
         return score
 
     def _single_sited(
@@ -344,8 +370,9 @@ class RemasterStrategy:
         the runner-up, the tied set, and which rule picked the winner,
         so a recorded decision is auditable even when rule 2 applied.
         """
-        loads = self.statistics.site_write_loads(self.table.master_of, self.num_sites)
-        current_masters = {self.table.master_of(p) for p in write_partitions}
+        masters = self.table.masters
+        loads = self.statistics.site_write_loads(masters.__getitem__, self.num_sites)
+        current_masters = {masters[p] for p in write_partitions}
         candidates = [
             candidate
             for candidate in range(self.num_sites)

@@ -124,26 +124,39 @@ class ReplicationManager:
             )
             request = site.cpu.request()
             yield request
-            apply_started = site.env.now
+            env = site.env
+            apply_started = env._now
             applied_before = self.applied
+            # Locals for the batch body: one refresh per committed
+            # update flows through here at every replica. The generator
+            # is interrupted on a crash and re-created on resubscribe,
+            # so these can never go stale across a restart. Writing the
+            # svv slot through .counts skips __setitem__'s >= 0 check
+            # (commit sequences are always >= 1).
+            svv = site.svv
+            svv_counts = svv.counts
+            refresh_ms = site.config.costs.refresh_ms
+            install_many = site.database.install_many
+            notify = site.watch.notify
+            timeout = env.timeout
+            applied_by_origin = self.applied_by_origin
             try:
                 while pending:
                     record: LogRecord = pending[0]
-                    if not can_apply_refresh(site.svv, record.tvv, record.origin):
+                    origin = record.origin
+                    if not can_apply_refresh(svv, record.tvv, origin):
                         break
-                    yield site.env.timeout(
-                        site.config.costs.refresh_ms(len(record.writes))
-                    )
-                    if record.writes:
-                        site.database.install_many(
-                            record.writes, record.origin, record.seq
-                        )
-                    site.svv[record.origin] = record.seq
+                    writes = record.writes
+                    yield timeout(refresh_ms(len(writes)))
+                    if writes:
+                        install_many(writes, origin, record.seq)
+                    svv_counts[origin] = record.seq
                     self.applied += 1
-                    self.applied_by_origin[record.origin] = (
-                        self.applied_by_origin.get(record.origin, 0) + 1
-                    )
-                    site.watch.notify()
+                    try:
+                        applied_by_origin[origin] += 1
+                    except KeyError:
+                        applied_by_origin[origin] = 1
+                    notify()
                     pending.popleft()
                     while len(queue):
                         pending.append(queue.get().value)

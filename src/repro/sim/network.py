@@ -37,8 +37,17 @@ class TrafficCounters:
     messages_by_category: Dict[str, int] = field(default_factory=dict)
 
     def record(self, category: str, size: int) -> None:
-        self.bytes_by_category[category] = self.bytes_by_category.get(category, 0) + size
-        self.messages_by_category[category] = self.messages_by_category.get(category, 0) + 1
+        # One message per call on the RPC hot path; the categories are
+        # a handful of fixed names, so the KeyError branch runs once per
+        # category per run.
+        try:
+            self.bytes_by_category[category] += size
+        except KeyError:
+            self.bytes_by_category[category] = size
+        try:
+            self.messages_by_category[category] += 1
+        except KeyError:
+            self.messages_by_category[category] = 1
 
     def record_many(self, category: str, size: int, count: int) -> None:
         """Record ``count`` same-sized messages with one counter bump.

@@ -217,47 +217,47 @@ class DataSite:
         if verify_mastership and any(p not in self.mastered for p in partitions):
             self.activity.finish(self.index, partitions, token)
             if traced:
-                tracer.instant("mastership_miss", env.now, track=track, txn=txn)
+                tracer.instant("mastership_miss", env._now, track=track, txn=txn)
             return None
-        started = env.now
+        started = env._now
         if min_begin is not None and not self.svv.dominates(min_begin):
             if traced:
                 self._refresh_edge(tracer, txn, track, min_begin)
             yield self.watch.wait_for(min_begin)
-        txn.add_timing("freshness_wait", env.now - started)
+        txn.add_timing("freshness_wait", env._now - started)
         if traced:
-            tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
+            tracer.span("freshness_wait", started, env._now, track=track, txn=txn)
 
-        lock_started = env.now
+        lock_started = env._now
         yield from self.database.locks.acquire_all(txn.write_set, txn)
-        txn.add_timing("lock_wait", env.now - lock_started)
+        txn.add_timing("lock_wait", env._now - lock_started)
         if traced:
-            tracer.span("lock_wait", lock_started, env.now, track=track, txn=txn)
+            tracer.span("lock_wait", lock_started, env._now, track=track, txn=txn)
         try:
-            begin_started = env.now
+            begin_started = env._now
             yield from self.cpu.use(costs.txn_begin_ms, txn=txn, track=track)
             begin_vv = self.svv.copy()
-            txn.add_timing("begin", env.now - begin_started)
+            txn.add_timing("begin", env._now - begin_started)
             if traced:
-                tracer.span("begin", begin_started, env.now, track=track, txn=txn)
+                tracer.span("begin", begin_started, env._now, track=track, txn=txn)
 
-            execute_started = env.now
+            execute_started = env._now
             service = costs.execution_ms(
                 len(txn.read_set), len(txn.write_set), len(txn.scan_set)
             )
             yield from self.cpu.use(service + txn.extra_cpu_ms, txn=txn, track=track)
             for key in txn.read_set:
                 self.database.read(key, begin_vv)
-            txn.add_timing("execute", env.now - execute_started)
+            txn.add_timing("execute", env._now - execute_started)
             if traced:
-                tracer.span("execute", execute_started, env.now, track=track, txn=txn)
+                tracer.span("execute", execute_started, env._now, track=track, txn=txn)
 
-            commit_started = env.now
+            commit_started = env._now
             yield from self.cpu.use(costs.txn_commit_ms, txn=txn, track=track)
             tvv = self._commit(txn, begin_vv)
-            txn.add_timing("commit", env.now - commit_started)
+            txn.add_timing("commit", env._now - commit_started)
             if traced:
-                tracer.span("commit", commit_started, env.now, track=track, txn=txn)
+                tracer.span("commit", commit_started, env._now, track=track, txn=txn)
         finally:
             self.database.locks.release_all(txn.write_set)
             if partitions:
@@ -276,7 +276,7 @@ class DataSite:
             for origin in range(self.num_sites)
             if self.svv[origin] < min_begin[origin]
         )
-        tracer.edge("refresh_wait", self.env.now, txn=txn, track=track,
+        tracer.edge("refresh_wait", self.env._now, txn=txn, track=track,
                     lagging=lagging)
 
     def _commit(self, txn: Transaction, begin_vv: VersionVector) -> VersionVector:
@@ -310,27 +310,27 @@ class DataSite:
         tracer = env.obs.tracer
         traced = tracer.enabled
         track = f"site{self.index}" if traced else ""
-        started = env.now
+        started = env._now
         if min_begin is not None and not self.svv.dominates(min_begin):
             if traced:
                 self._refresh_edge(tracer, txn, track, min_begin)
             yield self.watch.wait_for(min_begin)
-        txn.add_timing("freshness_wait", env.now - started)
+        txn.add_timing("freshness_wait", env._now - started)
         if traced:
-            tracer.span("freshness_wait", started, env.now, track=track, txn=txn)
+            tracer.span("freshness_wait", started, env._now, track=track, txn=txn)
 
         read_keys = txn.read_set if keys is None else keys
         scan_keys = txn.scan_set if scans is None else scans
-        execute_started = env.now
+        execute_started = env._now
         yield from self.cpu.use(costs.txn_begin_ms, txn=txn, track=track)
         begin_vv = self.svv.copy()
         service = costs.execution_ms(len(read_keys), 0, len(scan_keys))
         yield from self.cpu.use(service + txn.extra_cpu_ms, txn=txn, track=track)
         for key in read_keys:
             self.database.read(key, begin_vv)
-        txn.add_timing("execute", env.now - execute_started)
+        txn.add_timing("execute", env._now - execute_started)
         if traced:
-            tracer.span("execute", execute_started, env.now, track=track, txn=txn)
+            tracer.span("execute", execute_started, env._now, track=track, txn=txn)
         self.read_txns += 1
         return begin_vv
 
@@ -361,7 +361,7 @@ class DataSite:
                     raise MastershipError(
                         f"site {self.index} asked to release unmastered partition {partition}"
                     )
-        quiesce_started = self.env.now
+        quiesce_started = self.env._now
         quiesce = [self.activity.quiesced(self.index, p) for p in partitions]
         yield self.env.all_of(quiesce)
         yield from self.cpu.use(self.config.costs.release_ms * len(partitions))
@@ -369,7 +369,7 @@ class DataSite:
         tracer = self.env.obs.tracer
         if tracer.enabled:
             tracer.span(
-                "release_quiesce", quiesce_started, self.env.now,
+                "release_quiesce", quiesce_started, self.env._now,
                 track=f"site{self.index}", partitions=len(partitions),
             )
         seq = self.svv.increment(self.index)
@@ -416,7 +416,7 @@ class DataSite:
         tracer = self.env.obs.tracer
         if tracer.enabled:
             tracer.instant(
-                "mastership_grant", self.env.now, track=f"site{self.index}",
+                "mastership_grant", self.env._now, track=f"site{self.index}",
                 partitions=len(partitions), source=source,
             )
         seq = self.svv.increment(self.index)
@@ -463,15 +463,15 @@ class DataSite:
         tracer = self.env.obs.tracer
         traced = tracer.enabled
         track = f"site{self.index}" if traced else ""
-        started = self.env.now
+        started = self.env._now
         if min_begin is not None and not self.svv.dominates(min_begin):
             if traced:
                 self._refresh_edge(tracer, txn, track, min_begin)
             yield self.watch.wait_for(min_begin)
-        txn.add_timing("freshness_wait", self.env.now - started)
+        txn.add_timing("freshness_wait", self.env._now - started)
         if traced:
-            tracer.span("freshness_wait", started, self.env.now, track=track, txn=txn)
-        lock_started = self.env.now
+            tracer.span("freshness_wait", started, self.env._now, track=track, txn=txn)
+        lock_started = self.env._now
         yield from self.database.locks.acquire_all(keys, txn)
         if self.network.faults is not None and txn.txn_id in self._branch_aborted:
             # The coordinator presumed-aborted this transaction while
@@ -482,10 +482,10 @@ class DataSite:
                 REASON_TIMEOUT, f"branch of {txn.txn_id} aborted before execution"
             )
         self._branch_locked.add((txn.txn_id, keys))
-        txn.add_timing("lock_wait", self.env.now - lock_started)
+        txn.add_timing("lock_wait", self.env._now - lock_started)
         if traced:
-            tracer.span("lock_wait", lock_started, self.env.now, track=track, txn=txn)
-        execute_started = self.env.now
+            tracer.span("lock_wait", lock_started, self.env._now, track=track, txn=txn)
+        execute_started = self.env._now
         yield from self.cpu.use(costs.txn_begin_ms, txn=txn, track=track)
         begin_vv = self.svv.copy()
         share = len(keys) / max(1, len(txn.write_set))
@@ -494,7 +494,7 @@ class DataSite:
         # Trace-only: branch execution is deliberately not added to the
         # metrics breakdown (it overlaps other branches of the same txn).
         if traced:
-            tracer.span("branch_execute", execute_started, self.env.now,
+            tracer.span("branch_execute", execute_started, self.env._now,
                         track=track, txn=txn)
         return begin_vv
 
@@ -503,10 +503,10 @@ class DataSite:
         and vote yes. Locks remain held."""
         tracer = self.env.obs.tracer
         track = f"site{self.index}" if tracer.enabled else ""
-        started = self.env.now
+        started = self.env._now
         yield from self.cpu.use(self.config.costs.prepare_ms, txn=txn, track=track)
         if tracer.enabled:
-            tracer.span("branch_prepare", started, self.env.now,
+            tracer.span("branch_prepare", started, self.env._now,
                         track=track, txn=txn)
         return True
 
@@ -526,7 +526,7 @@ class DataSite:
                 return None
         tracer = self.env.obs.tracer
         track = f"site{self.index}" if tracer.enabled else ""
-        branch_started = self.env.now
+        branch_started = self.env._now
         yield from self.cpu.use(
             self.config.costs.decide_ms + self.config.costs.txn_commit_ms,
             txn=txn, track=track,
@@ -544,7 +544,7 @@ class DataSite:
             self._branch_results[(txn.txn_id, keys)] = tvv
         self.database.locks.release_all(keys)
         if tracer.enabled:
-            tracer.span("branch_commit", branch_started, self.env.now,
+            tracer.span("branch_commit", branch_started, self.env._now,
                         track=track, txn=txn)
         return tvv
 

@@ -43,7 +43,7 @@ def remote_call(
     tracer = env.obs.tracer
     request_delay = network.delay_for(request_size)
     network.account(category, request_size)
-    request_started = env.now
+    request_started = env._now
     traced = tracer.enabled
     yield env.timeout(request_delay)
     if txn is not None and traced:

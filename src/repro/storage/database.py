@@ -13,7 +13,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.sim.core import Environment
 from repro.storage.locks import LockTable
-from repro.storage.record import Version, VersionedRecord
+from repro.storage.record import VersionedRecord
 from repro.storage.table import Table
 from repro.versioning.vectors import VersionVector
 
@@ -57,16 +57,32 @@ class Database:
     def ensure(self, key: Key) -> VersionedRecord:
         """Fetch a record, creating an empty one if absent (inserts)."""
         table_name, primary_key = key
-        return self.table(table_name).get_or_insert(primary_key)
+        table = self.tables.get(table_name)
+        if table is None:
+            table = self.table(table_name)
+        record = table._rows.get(primary_key)
+        if record is None:
+            record = table.insert(primary_key)
+        return record
 
     # -- transactional access -------------------------------------------------
 
-    def read(self, key: Key, begin: VersionVector) -> Version:
-        """Snapshot read of ``key`` at the ``begin`` vector."""
+    def read(self, key: Key, begin: VersionVector) -> Any:
+        """Snapshot read of ``key`` at the ``begin`` vector.
+
+        Returns the visible *value* directly: one index-arithmetic scan
+        over the record's seq/origin columns resolves visibility and
+        staleness together (a stale read — snapshot older than every
+        retained version — counts and falls back to the oldest retained
+        value, per the bounded-chain trade documented on
+        :meth:`VersionedRecord.read`).
+        """
         record = self.ensure(key)
-        if not record.has_visible(begin):
+        i = record.visible_index(begin.counts)
+        if i < 0:
             self.stale_reads += 1
-        return record.read(begin)
+            i = record._start
+        return record._values[i]
 
     def install(self, key: Key, origin: int, seq: int, value: Any) -> None:
         """Install one committed version (local commit or refresh)."""
@@ -76,8 +92,10 @@ class Database:
         self, writes: Iterable[Tuple[Key, Any]], origin: int, seq: int
     ) -> None:
         """Install a transaction's full write set."""
+        maxv = self.max_versions
+        ensure = self.ensure
         for key, value in writes:
-            self.install(key, origin, seq, value)
+            ensure(key).install(origin, seq, value, maxv)
 
     # -- introspection ----------------------------------------------------------
 

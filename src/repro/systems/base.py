@@ -140,14 +140,15 @@ class System(ABC):
 
     def client_hop(self, txn: Transaction, size: int = 128) -> Generator:
         """One client-to-system network traversal, accounted to the txn."""
+        env = self.env
         delay = self.network.delay_for(size)
         self.network.account("client", size)
-        started = self.env.now
-        yield self.env.timeout(delay)
+        started = env._now
+        yield env.timeout(delay)
         txn.add_timing("network", delay)
         tracer = self.obs.tracer
         if tracer.enabled:
-            tracer.span("network", started, self.env.now,
+            tracer.span("network", started, env._now,
                         track="net", txn=txn, category="client")
 
     def choose_fresh_site(self, session: Session, rng) -> int:

@@ -33,6 +33,9 @@ class LEAP(System):
         self.scheme = scheme
         self.placement = placement
         cluster.place_partitions(placement)
+        #: Memoized key -> partition lookups (pure per run; scan sets
+        #: revisit the same key blocks on every transaction).
+        self._partitions: Dict[Key, object] = {}
         #: Record-granularity ownership; keys start at their partition's site.
         self._owners: Dict[Key, int] = {}
         #: Router-level locks serializing conflicting localizations.
@@ -58,7 +61,16 @@ class LEAP(System):
         yield from self.router_cpu.use(self.config.costs.route_lookup_ms,
                                        txn=txn, track="router")
 
-        keys = [key for key in txn.all_keys() if self.scheme.partition(key) is not None]
+        cache = self._partitions
+        partition_of = self.scheme.partition
+        keys = []
+        for key in txn.all_keys():
+            try:
+                partition = cache[key]
+            except KeyError:
+                partition = cache[key] = partition_of(key)
+            if partition is not None:
+                keys.append(key)
         # LEAP has no routing strategies (§VI-B2): a transaction runs at
         # the site its client is connected to, and every record it
         # touches is localized there first. This is what makes LEAP
@@ -67,9 +79,17 @@ class LEAP(System):
         execution_site = txn.client_id % self.cluster.num_sites
 
         shipped = False
-        remote_keys = [
-            key for key in keys if self.owner_of(key) != execution_site
-        ]
+        # Inlined owner_of: every key here is non-static, so the owner
+        # is the migrated owner if any, else its partition's home site.
+        owners = self._owners
+        placement = self.placement
+        remote_keys = []
+        for key in keys:
+            owner = owners.get(key)
+            if owner is None:
+                owner = placement[cache[key]]
+            if owner != execution_site:
+                remote_keys.append(key)
         if remote_keys:
             # Serialize conflicting migrations of the same records.
             yield from self._migration_locks.acquire_all(remote_keys)

@@ -31,8 +31,13 @@ from repro.versioning.vectors import VersionVector
 def group_writes_by_unit(system, txn: Transaction) -> Dict[int, Tuple[Key, ...]]:
     """Split the write set into placement-unit branches."""
     groups: Dict[int, List[Key]] = {}
+    cache = system._unit_cache
+    unit_of = system.unit_of
     for key in txn.write_set:
-        unit = system.unit_of(key)
+        try:
+            unit = cache[key]
+        except KeyError:
+            unit = cache[key] = unit_of(key)
         if unit is None:
             raise ValueError(f"write to static replicated table: {key!r}")
         groups.setdefault(unit, []).append(key)
@@ -143,7 +148,7 @@ def two_phase_commit(
 
     merged = VersionVector.zeros(len(sites[0].svv))
     for commit_vv in commit_vvs:
-        merged = merged.element_max(commit_vv)
+        merged.merge(commit_vv)
 
     # Coordinator -> client reply.
     yield from system.client_hop(txn)
@@ -307,7 +312,7 @@ def _two_phase_commit_faulted(
                 failures += 1
                 yield env.timeout(policy.backoff_ms(min(failures - 1, 8)))
         if commit_vv is not None:
-            merged = merged.element_max(commit_vv)
+            merged.merge(commit_vv)
     if traced:
         _round("decide", round_started)
 

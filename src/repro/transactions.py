@@ -44,7 +44,10 @@ class Transaction:
 
     def add_timing(self, phase: str, duration: float) -> None:
         """Accumulate ``duration`` ms into the breakdown bucket ``phase``."""
-        self.timings[phase] = self.timings.get(phase, 0.0) + duration
+        try:
+            self.timings[phase] += duration
+        except KeyError:
+            self.timings[phase] = duration
 
     def all_keys(self) -> Tuple[Key, ...]:
         """Every key the transaction touches (writes, reads, scans)."""

@@ -17,6 +17,23 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Tuple
 
+#: Interned all-zero tuples by dimension. Every session, recovery pass,
+#: and 2PC merge starts from a zero vector; the immutable template is
+#: built once per dimension and ``list()``-expanded into each fresh
+#: vector, and callers that need an immutable zero snapshot (initial
+#: cvv exports, log markers) can share the interned tuple directly.
+_ZERO_TUPLES: dict = {}
+
+
+def zero_tuple(size: int) -> Tuple[int, ...]:
+    """The interned all-zero tuple of the given dimension."""
+    cached = _ZERO_TUPLES.get(size)
+    if cached is None:
+        if size < 1:
+            raise ValueError(f"version vector dimension must be >= 1, got {size}")
+        cached = _ZERO_TUPLES[size] = (0,) * size
+    return cached
+
 
 class VersionVector:
     """A mutable vector of non-negative integers with element-wise ops."""
@@ -30,10 +47,14 @@ class VersionVector:
 
     @classmethod
     def zeros(cls, size: int) -> "VersionVector":
-        """An all-zero vector of the given dimension."""
-        if size < 1:
-            raise ValueError(f"version vector dimension must be >= 1, got {size}")
-        return cls([0] * size)
+        """An all-zero vector of the given dimension.
+
+        Skips ``__init__``'s validation scan — zeros need no checking —
+        and expands the interned zero template for the dimension.
+        """
+        vector = cls.__new__(cls)
+        vector.counts = list(zero_tuple(size))
+        return vector
 
     # -- container protocol ------------------------------------------------
 
@@ -102,13 +123,14 @@ class VersionVector:
         return True
 
     def element_max(self, other: "VersionVector") -> "VersionVector":
-        """New vector holding the per-position maximum."""
+        """New vector holding the per-position maximum.
+
+        Allocates the result; accumulation loops should prefer in-place
+        :meth:`merge` into a reused accumulator, which allocates nothing.
+        """
         self._check_dimension(other)
         result = VersionVector.__new__(VersionVector)
-        result.counts = [
-            mine if mine >= theirs else theirs
-            for mine, theirs in zip(self.counts, other.counts)
-        ]
+        result.counts = list(map(max, self.counts, other.counts))
         return result
 
     def merge(self, other: "VersionVector") -> None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
+from itertools import chain
 from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.core.strategy import StrategyWeights
@@ -163,13 +164,17 @@ class YCSBWorkload(Workload):
 
     def _make_rmw(self, base: int, client_id: int, rng) -> Transaction:
         cfg = self.config
+        random = rng.random
+        neighbour_p = cfg.neighbour_p
+        trials = cfg.neighbour_trials
+        centre = (trials + 1) // 2
         partitions = [base]
         for _ in range(2):
-            successes = sum(
-                rng.random() < cfg.neighbour_p for _ in range(cfg.neighbour_trials)
-            )
-            offset = successes - (cfg.neighbour_trials + 1) // 2
-            partitions.append(self._neighbour(base, offset))
+            successes = 0
+            for _ in range(trials):
+                if random() < neighbour_p:
+                    successes += 1
+            partitions.append(self._neighbour(base, successes - centre))
         keys = tuple(self._key_in(partition, rng) for partition in partitions)
         return Transaction(
             "rmw", client_id, write_set=keys, read_set=keys
@@ -188,10 +193,18 @@ class YCSBWorkload(Workload):
     def _make_scan(self, base: int, client_id: int, rng) -> Transaction:
         cfg = self.config
         length = rng.randint(cfg.scan_min_partitions, cfg.scan_max_partitions)
-        keys: List[Key] = []
-        for step in range(length):
-            keys.extend(self._scan_block(self._neighbour(base, step)))
-        return Transaction("scan", client_id, scan_set=tuple(keys))
+        # The per-partition blocks are pre-built tuples; chaining them
+        # into one tuple skips the per-key list appends plus the full
+        # copy of tuple(list) (scan sets are the largest key sets made).
+        neighbour = self._neighbour
+        scan_block = self._scan_block
+        if length == 1:
+            keys = scan_block(neighbour(base, 0))
+        else:
+            keys = tuple(chain.from_iterable(
+                scan_block(neighbour(base, step)) for step in range(length)
+            ))
+        return Transaction("scan", client_id, scan_set=keys)
 
     def initial_records(self) -> Iterable[Tuple[Key, Any]]:
         total = self.config.num_partitions * self.config.keys_per_partition

@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench.harness import run_benchmark
+import repro.bench.perf as perf
 from repro.bench.perf import (
     DEFAULT_TOLERANCE,
     PERF_MATRIX,
@@ -26,7 +27,9 @@ from repro.bench.perf import (
     attach_baseline,
     compare_reports,
     load_report,
+    run_sweep,
     select_cases,
+    sweep_levels,
 )
 from repro.sim.config import ClusterConfig
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
@@ -155,6 +158,90 @@ class TestAttachBaseline:
         assert comparison["mean_wall_reduction"] == pytest.approx(0.5)
 
 
+def _fake_executor(elapsed_by_level, fingerprints=None, wall=1.0):
+    """Stand-in for ``_run_cases``: fabricated timings, no simulation.
+
+    ``fingerprints`` maps ``(case_name, jobs)`` to a fingerprint for
+    parity-violation tests; unmapped cases fingerprint identically at
+    every level.
+    """
+
+    def execute(cases, repeats, jobs, progress):
+        results = {}
+        for name in cases:
+            row = {
+                "fingerprint": (fingerprints or {}).get((name, jobs), f"fp-{name}"),
+                "wall_total_s": wall,
+                "peak_rss_kb": 100,
+            }
+            results[name] = row
+            if progress is not None:
+                progress(name, row)
+        return results, elapsed_by_level[jobs]
+
+    return execute
+
+
+class TestSweepLevels:
+    def test_one_core_runs_serial_only(self):
+        assert sweep_levels(1) == [1]
+
+    def test_two_always_included(self):
+        assert sweep_levels(2) == [1, 2]
+        assert sweep_levels(3) == [1, 2, 3]
+        assert sweep_levels(8) == [1, 2, 8]
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ValueError, match="cores"):
+            sweep_levels(0)
+
+
+class TestRunSweep:
+    def _sweep(self, monkeypatch, **kwargs):
+        monkeypatch.setattr(perf, "calibrate", lambda: 1000.0)
+        kwargs.setdefault("emit", None)
+        return run_sweep(["a", "b"], repeats=1, **kwargs)
+
+    def test_sweep_rows_and_arithmetic(self, monkeypatch):
+        payload = self._sweep(
+            monkeypatch,
+            cores=4,
+            executor=_fake_executor({1: 8.0, 2: 5.0, 4: 2.0}),
+        )
+        rows = {row["jobs"]: row for row in payload["machine"]["parallel"]["sweep"]}
+        assert set(rows) == {1, 2, 4}
+        # serial_equivalent = sum of in-worker walls = 2 cases x 1.0s.
+        assert rows[1]["fanout_speedup"] == pytest.approx(1.0)
+        assert rows[2]["fanout_speedup"] == pytest.approx(8.0 / 5.0)
+        assert rows[4]["fanout_speedup"] == pytest.approx(4.0)
+        assert rows[4]["speedup"] == pytest.approx(2.0 / 2.0)
+        assert rows[4]["efficiency"] == pytest.approx(1.0)
+        # The headline block is the best level by worker-concurrency.
+        assert payload["machine"]["parallel"]["jobs"] == 4
+        assert payload["settings"] == {"repeats": 1, "jobs": 1, "cores": 4}
+        # The canonical per-case rows come from the serial pass.
+        assert set(payload["cases"]) == {"a", "b"}
+
+    def test_fingerprint_parity_violation_raises(self, monkeypatch):
+        with pytest.raises(RuntimeError, match="parity violated at jobs=2: b"):
+            self._sweep(
+                monkeypatch,
+                cores=2,
+                executor=_fake_executor(
+                    {1: 4.0, 2: 3.0}, fingerprints={("b", 2): "divergent"}
+                ),
+            )
+
+    def test_limited_by_host_flag(self, monkeypatch):
+        executor = _fake_executor({1: 4.0, 2: 3.0})
+        monkeypatch.setattr(perf.os, "cpu_count", lambda: 1)
+        limited = self._sweep(monkeypatch, cores=2, executor=executor)
+        assert limited["machine"]["parallel"]["limited_by_host"] is True
+        monkeypatch.setattr(perf.os, "cpu_count", lambda: 8)
+        roomy = self._sweep(monkeypatch, cores=2, executor=executor)
+        assert roomy["machine"]["parallel"]["limited_by_host"] is False
+
+
 class TestReportFile:
     def test_schema_mismatch_is_rejected(self, tmp_path):
         bad = tmp_path / "report.json"
@@ -177,3 +264,23 @@ class TestReportFile:
             assert case["commits"] > 0
         if "comparison" in payload:
             assert set(payload["comparison"]["per_case"]) <= set(payload["cases"])
+
+    def test_previous_schema_still_loads(self, tmp_path):
+        """/2 reports stay loadable so ``--baseline-from`` can compare a
+        refreshed /3 report against the pre-change baseline."""
+        old = tmp_path / "report.json"
+        old.write_text(json.dumps({"schema": "repro-perf/2", "cases": {}}))
+        assert load_report(str(old))["schema"] == "repro-perf/2"
+
+    def test_committed_report_carries_the_parallel_sweep(self):
+        """The committed report must include the measured jobs sweep
+        (EXPERIMENTS.md, "Parallel execution") with worker-concurrency
+        speedup above 1 at jobs=2."""
+        payload = load_report(str(REPO_ROOT / "BENCH_perf.json"))
+        parallel = payload["machine"]["parallel"]
+        rows = {row["jobs"]: row for row in parallel["sweep"]}
+        assert {1, 2} <= set(rows)
+        assert rows[2]["speedup"] > 1.0
+        assert rows[2]["elapsed_s"] > 0
+        assert "limited_by_host" in parallel
+        assert parallel["host_cores"] >= 1

@@ -86,8 +86,8 @@ class TestRefreshApplication:
         assert site0.svv.to_tuple() == (1, 0)
         assert site1.svv.to_tuple() == (1, 0)
         # The replica can now read the new version.
-        version = site1.database.read(("t", 1), VersionVector([1, 0]))
-        assert version.value == txn.txn_id
+        value = site1.database.read(("t", 1), VersionVector([1, 0]))
+        assert value == txn.txn_id
         assert site1.replication.applied == 1
 
     def test_refresh_blocks_on_dependency(self):
@@ -176,8 +176,8 @@ class TestRecovery:
         live = cluster.sites[0]
         assert svv.to_tuple() == live.svv.to_tuple()
         snapshot = svv
-        assert database.read(("t", 1), snapshot).value == txn1.txn_id
-        assert database.read(("t", 2), snapshot).value == txn2.txn_id
+        assert database.read(("t", 1), snapshot) == txn1.txn_id
+        assert database.read(("t", 2), snapshot) == txn2.txn_id
 
     def test_recover_database_from_checkpoint_vector(self):
         cluster, txn1, txn2 = self.build_history()
@@ -190,7 +190,7 @@ class TestRecovery:
             initial_data=[(("t", 1), txn1.txn_id), (("t", 2), txn1.txn_id)],
             from_vector=checkpoint,
         )
-        assert database.read(("t", 2), svv).value == txn2.txn_id
+        assert database.read(("t", 2), svv) == txn2.txn_id
 
     def test_recover_mastership(self):
         cluster, _, _ = self.build_history()

@@ -127,6 +127,6 @@ class TestSnapshotIsolation:
         for table in site.database.tables.values():
             for record in table:
                 version = record.read(snapshot)
-                assert version is record.latest, (
+                assert version == record.latest, (
                     "the freshest snapshot must read the newest version"
                 )

@@ -140,6 +140,177 @@ class TestAllOfFailure:
         assert results == [["a", "b", "c"]]
 
 
+class TestBatchedDispatch:
+    """Pin the batched zero-delay dispatch against golden orderings.
+
+    The kernel drains the current-timestamp run queue (``_nowq``) FIFO
+    before consulting the heap; these tests pin the resulting dispatch
+    order so any change to the batching condition shows up as a golden
+    sequence mismatch, not a silent reordering.
+    """
+
+    def test_zero_delay_batch_preserves_creation_order(self):
+        env = Environment()
+        trace = []
+
+        def proc(label, delay):
+            yield env.timeout(delay)
+            trace.append((label, env.now))
+
+        for label, delay in enumerate([0.0, 2.0, 0.0, 1.0, 0.0]):
+            env.process(proc(label, delay))
+        env.run()
+        # Zero-delay processes wake in creation order at t=0, then the
+        # heap entries in time order.
+        assert trace == [(0, 0.0), (2, 0.0), (4, 0.0), (3, 1.0), (1, 2.0)]
+
+    def test_succeed_and_zero_timeout_interleave_in_trigger_order(self):
+        env = Environment()
+        trace = []
+
+        def waiter(label, event):
+            yield event
+            trace.append(label)
+
+        gate_a = env.event()
+        gate_b = env.event()
+        env.process(waiter("a", gate_a))
+        env.process(waiter("b", gate_b))
+
+        def driver():
+            gate_a.succeed()          # enters the batch first...
+            yield env.timeout(0.0)    # ...then the driver's own wakeup...
+            gate_b.succeed()          # ...then gate_b, after the drain began
+            trace.append("driver")
+
+        env.process(driver())
+        env.run()
+        assert trace == ["a", "driver", "b"]
+
+    def test_batch_takes_heap_path_when_entry_due_now(self):
+        """An event scheduled at ``now`` while a heap entry is also due
+        at ``now`` must round-trip through the heap (eid order decides),
+        not jump the queue via the batch."""
+        env = Environment()
+        trace = []
+
+        def sleeper(label, delay):
+            yield env.timeout(delay)
+            trace.append((label, env.now))
+
+        def late_zero():
+            yield env.timeout(1.0)
+            # At t=1 a second heap entry (the other sleeper) is due at
+            # exactly now: this zero-delay wakeup must not overtake it.
+            yield env.timeout(0.0)
+            trace.append(("zero", env.now))
+
+        env.process(late_zero())
+        env.process(sleeper("one", 1.0))
+        env.run()
+        assert trace == [("one", 1.0), ("zero", 1.0)]
+
+    def test_step_loop_is_event_for_event_identical_to_run(self):
+        def scenario(env, trace):
+            def worker(label, delays):
+                for delay in delays:
+                    yield env.timeout(delay)
+                    trace.append((label, env.now))
+
+            gate = env.event()
+
+            def signaller():
+                yield env.timeout(1.5)
+                gate.succeed("go")
+
+            def gated():
+                value = yield gate
+                trace.append(("gate", value, env.now))
+
+            env.process(worker("x", [0.0, 1.0, 0.0]))
+            env.process(worker("y", [0.5, 0.0, 2.0]))
+            env.process(signaller())
+            env.process(gated())
+
+        run_trace, step_trace = [], []
+        run_env, step_env = Environment(), Environment()
+        scenario(run_env, run_trace)
+        scenario(step_env, step_trace)
+        run_env.run()
+        while step_env.peek() != float("inf"):
+            step_env.step()
+        assert step_trace == run_trace
+        assert step_env.events_processed == run_env.events_processed
+        assert step_env.now == run_env.now
+
+    def test_recycled_timeout_shells_change_nothing(self):
+        """The Timeout free list must be unobservable: a run that holds
+        references to every timeout (defeating recycling) produces the
+        same trace and consumes the same eid sequence."""
+
+        def scenario(hold):
+            env = Environment()
+            trace = []
+
+            def worker(label):
+                for i in range(6):
+                    timeout = env.timeout(0.5 * (i % 3))
+                    if hold is not None:
+                        hold.append(timeout)
+                    yield timeout
+                    trace.append((label, env.now))
+
+            env.process(worker("x"))
+            env.process(worker("y"))
+            env.run()
+            return env, trace
+
+        recycled_env, recycled_trace = scenario(None)
+        held_env, held_trace = scenario([])
+        assert recycled_env._tfree, "free list never engaged"
+        assert not held_env._tfree, "held shells must not be recycled"
+        assert recycled_trace == held_trace
+        assert recycled_env._eid == held_env._eid
+        assert recycled_env.events_processed == held_env.events_processed
+
+
+class TestInterruptEdges:
+    def test_interrupt_before_initialize_fires(self):
+        """A process interrupted before its Initialize event dispatches
+        unwinds immediately; the stale Initialize wakeup is ignored."""
+        env = Environment()
+        started = []
+
+        def proc():
+            started.append(True)
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        process.interrupt(RuntimeError("early"))
+        assert not process.is_alive
+        process.defuse()  # nobody waits on it; silence the failure
+        env.run()  # the queued Initialize must be a no-op
+        assert started == []
+
+    def test_anyof_over_already_processed_failed_child(self):
+        env = Environment()
+        bad = env.event()
+        bad.fail(ValueError("pre"))
+        bad.defuse()
+        env.run()  # dispatch it: the child is processed before AnyOf exists
+        caught = []
+
+        def waiter():
+            try:
+                yield env.any_of([bad, env.timeout(5.0)])
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter())
+        env.run()
+        assert caught == ["pre"]
+
+
 class TestProcessChains:
     def test_deep_chain_of_completed_events(self):
         """Resuming through many already-processed events must not

@@ -1,6 +1,8 @@
 """Unit tests for the MVCC storage engine."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.core import Environment, SimulationError
 from repro.storage import Database, LockTable, Table, VersionedRecord
@@ -55,6 +57,60 @@ class TestVersionedRecord:
         record = VersionedRecord(("t", 1), initial_value=0)
         record.install(origin=1, seq=5, value="new", max_versions=4)
         assert record.latest.value == "new"
+
+
+#: (origin, value) pairs; the commit sequence is the 1-based install
+#: index, matching how a site's commit counter actually advances.
+_installs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), st.integers()),
+    max_size=120,
+)
+
+
+class TestInstallPruningProperties:
+    """The column-store chain must behave exactly like the naive model:
+    append every version, keep the last ``max_versions``.
+
+    Install sequences long enough to push the logical head offset past
+    the compaction threshold (``_COMPACT_AT`` = 32) exercise both the
+    O(1) head-drop path and the physical compaction rebuild.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(_installs, st.integers(min_value=1, max_value=6))
+    def test_chain_matches_naive_model(self, installs, max_versions):
+        record = VersionedRecord(("t", 1), initial_value="init")
+        model = [(0, 0, "init")]
+        for seq, (origin, value) in enumerate(installs, start=1):
+            record.install(origin, seq, value, max_versions=max_versions)
+            model.append((origin, seq, value))
+            model = model[-max_versions:]
+        assert record.version_count == len(model) <= max_versions
+        assert [
+            (version.origin, version.seq, version.value)
+            for version in record.versions()
+        ] == model
+        assert (record.latest.origin, record.latest.seq, record.latest.value) == model[-1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(_installs, st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=130))
+    def test_reads_match_naive_model(self, installs, max_versions, horizon):
+        """Snapshot reads agree with a scan of the naive model: newest
+        visible version, else the oldest retained (pruned-snapshot
+        fallback)."""
+        record = VersionedRecord(("t", 1), initial_value="init")
+        model = [(0, 0, "init")]
+        for seq, (origin, value) in enumerate(installs, start=1):
+            record.install(origin, seq, value, max_versions=max_versions)
+            model.append((origin, seq, value))
+            model = model[-max_versions:]
+        counts = [horizon, horizon, horizon, horizon]
+        expected = next(
+            (row for row in reversed(model) if row[1] <= counts[row[0]]),
+            model[0],
+        )
+        assert record.read_value(counts) == expected[2]
 
 
 class TestTable:
@@ -156,20 +212,18 @@ class TestDatabase:
     def test_load_and_read(self):
         db = self.make_db()
         db.load(("accounts", 1), value=500)
-        version = db.read(("accounts", 1), VersionVector.zeros(2))
-        assert version.value == 500
+        assert db.read(("accounts", 1), VersionVector.zeros(2)) == 500
 
     def test_install_many(self):
         db = self.make_db()
         db.install_many([(("t", 1), "a"), (("t", 2), "b")], origin=1, seq=3)
         snapshot = VersionVector([0, 3])
-        assert db.read(("t", 1), snapshot).value == "a"
-        assert db.read(("t", 2), snapshot).value == "b"
+        assert db.read(("t", 1), snapshot) == "a"
+        assert db.read(("t", 2), snapshot) == "b"
 
     def test_read_of_missing_key_creates_empty_record(self):
         db = self.make_db()
-        version = db.read(("t", 99), VersionVector.zeros(1))
-        assert version.value is None
+        assert db.read(("t", 99), VersionVector.zeros(1)) is None
         assert db.row_count() == 1
 
     def test_stale_read_counter(self):
